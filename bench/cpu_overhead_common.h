@@ -1,0 +1,168 @@
+// Shared implementation for Figures 9 and 10: CPU overhead of Juggler vs the
+// vanilla stack, with and without reordering.
+//
+// Setup (§5.1.1, adapted to the 2-ToR Clos of Figure 19 — see DESIGN.md):
+// senders under ToR A push a 20Gb/s aggregate to one receiver RX queue under
+// ToR B. Background bulk traffic loads the ToR uplinks to ~50% so that
+// per-packet spraying produces real queueing-induced reordering; ECMP is the
+// no-reordering baseline. Four scenarios x {app core %, RX core %,
+// throughput % of target}.
+//
+// Expected shape (paper): with ECMP, Juggler == vanilla on every metric.
+// With per-packet spraying, vanilla's app core saturates (~15x more
+// segments, ~40% OOO, ~15x more ACKs) and throughput drops ~35%; Juggler
+// holds line rate with < ~10 points more CPU than the vanilla/in-order case.
+
+#ifndef JUGGLER_BENCH_CPU_OVERHEAD_COMMON_H_
+#define JUGGLER_BENCH_CPU_OVERHEAD_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace juggler {
+
+struct CpuResult {
+  double app_core_pct = 0;
+  double rx_core_pct = 0;
+  double throughput_pct = 0;  // of the 20Gb/s target
+  double segments_per_sec = 0;
+  double acks_per_sec = 0;
+  double ooo_fraction = 0;  // of data packets at GRO
+};
+
+inline CpuResult RunCpuScenario(size_t num_flows, bool reorder, bool use_juggler) {
+  SimWorld world;
+  ClosOptions opt;
+  opt.hosts_per_tor = 8;
+  opt.lb = reorder ? LbPolicy::kPerPacket : LbPolicy::kEcmp;
+  opt.host_template = DefaultHost();
+  opt.host_template.rx.num_queues = 1;
+  opt.host_template.rx.force_queue = 0;
+  // Datacenter RTO bounds so a single startup loss resolves within warmup.
+  opt.host_template.tcp.initial_rto = Ms(10);
+  opt.host_template.tcp.max_rto = Ms(16);
+  if (use_juggler) {
+    JugglerConfig jcfg;
+    jcfg.inseq_timeout = Us(13);  // 40G rule of thumb (§5.2.1)
+    jcfg.ofo_timeout = Us(50);
+    opt.host_template.gro_factory = MakeJugglerFactory(jcfg);
+  }
+  ClosTestbed t = BuildClos(&world, opt);
+
+  // Measured traffic: `num_flows` connections paced to a 20Gb/s aggregate.
+  const int64_t target_bps = 20 * kGbps;
+  std::vector<EndpointPair> flows;
+  if (num_flows == 1) {
+    flows.push_back(ConnectHosts(t.left_hosts[0], t.right_hosts[0], 1000, 2000));
+  } else {
+    const size_t per_host = num_flows / 8;
+    for (size_t h = 0; h < 8; ++h) {
+      for (size_t c = 0; c < per_host; ++c) {
+        flows.push_back(ConnectHosts(t.left_hosts[h], t.right_hosts[0],
+                                     static_cast<uint16_t>(1000 + c), 2000));
+      }
+    }
+  }
+  Rng stagger(991);
+  for (auto& pair : flows) {
+    TcpEndpoint* sender = pair.a_to_b;
+    sender->set_pacing_rate(target_bps / static_cast<int64_t>(flows.size()));
+    if (flows.size() == 1) {
+      sender->SendForever();
+    } else {
+      // Stagger starts: synchronized slow-starts would wedge a cohort of
+      // flows in RTO backoff and depress every scenario equally.
+      world.loop.Schedule(stagger.NextInRange(0, Ms(20)), [sender] { sender->SendForever(); });
+    }
+  }
+
+  // Background: each left host sends a 2.5Gb/s paced bulk flow to right
+  // hosts 1..7, bringing the two 40G uplinks to ~50% load (20G measured +
+  // 20G background over 80G capacity).
+  std::vector<EndpointPair> background;
+  for (size_t h = 0; h < 8; ++h) {
+    background.push_back(ConnectHosts(t.left_hosts[h], t.right_hosts[1 + (h % 7)],
+                                      static_cast<uint16_t>(5000 + h), 6000));
+    background.back().a_to_b->set_pacing_rate(2'500'000'000);
+    background.back().a_to_b->SendForever();
+  }
+
+  const TimeNs warmup = Ms(50);
+  const TimeNs window = Ms(150);
+  world.loop.RunUntil(warmup);
+
+  Host* receiver = t.right_hosts[0];
+  CpuUsageMeter app_meter(receiver->app_core());
+  CpuUsageMeter rx_meter(receiver->nic_rx()->rx_core(0));
+  app_meter.Reset(world.loop.now());
+  rx_meter.Reset(world.loop.now());
+  const GroStats gro_before = receiver->nic_rx()->TotalGroStats();
+  uint64_t delivered_before = 0;
+  uint64_t acks_before = 0;
+  for (const auto& pair : flows) {
+    delivered_before += pair.b_to_a->bytes_delivered();
+    acks_before += pair.b_to_a->receiver_stats().acks_sent;
+  }
+
+  world.loop.RunUntil(warmup + window);
+
+  CpuResult r;
+  r.app_core_pct = app_meter.Utilization(world.loop.now()) * 100.0;
+  r.rx_core_pct = rx_meter.Utilization(world.loop.now()) * 100.0;
+  uint64_t delivered = 0;
+  uint64_t acks = 0;
+  for (const auto& pair : flows) {
+    delivered += pair.b_to_a->bytes_delivered();
+    acks += pair.b_to_a->receiver_stats().acks_sent;
+  }
+  const GroStats gro_after = receiver->nic_rx()->TotalGroStats();
+  const double secs = ToSec(window);
+  r.throughput_pct =
+      RateBps(static_cast<int64_t>(delivered - delivered_before), window) / 20e9 * 100.0;
+  r.segments_per_sec =
+      static_cast<double>(gro_after.data_segments_out - gro_before.data_segments_out) / secs;
+  r.acks_per_sec = static_cast<double>(acks - acks_before) / secs;
+  const uint64_t data_pkts = gro_after.data_packets_in - gro_before.data_packets_in;
+  const uint64_t ooo = gro_after.ooo_packets - gro_before.ooo_packets;
+  r.ooo_fraction = data_pkts == 0 ? 0.0 : static_cast<double>(ooo) / static_cast<double>(data_pkts);
+  return r;
+}
+
+inline void RunCpuOverheadFigure(const char* figure, size_t num_flows) {
+  char description[256];
+  std::snprintf(description, sizeof(description),
+                "CPU overhead, %zu flow(s) at a 20Gb/s target into one RX queue.\n"
+                "ECMP = no reordering; per-packet spraying with 50%% background load\n"
+                "= realistic reordering.",
+                num_flows);
+  PrintHeader(figure, description);
+
+  struct Row {
+    const char* scenario;
+    bool reorder;
+    bool use_juggler;
+  };
+  const Row rows[] = {
+      {"vanilla, no reordering (ECMP)", false, false},
+      {"juggler, no reordering (ECMP)", false, true},
+      {"vanilla, reordering (per-packet)", true, false},
+      {"juggler, reordering (per-packet)", true, true},
+  };
+  TablePrinter table({"scenario", "app_core(%)", "rx_core(%)", "throughput(%)",
+                      "segs/s(k)", "acks/s(k)", "ooo(%)"});
+  for (const Row& row : rows) {
+    const CpuResult r = RunCpuScenario(num_flows, row.reorder, row.use_juggler);
+    table.AddRow({row.scenario, TablePrinter::Num(r.app_core_pct, 1),
+                  TablePrinter::Num(r.rx_core_pct, 1), TablePrinter::Num(r.throughput_pct, 1),
+                  TablePrinter::Num(r.segments_per_sec / 1000.0, 1),
+                  TablePrinter::Num(r.acks_per_sec / 1000.0, 1),
+                  TablePrinter::Num(r.ooo_fraction * 100.0, 1)});
+  }
+  table.Print();
+}
+
+}  // namespace juggler
+
+#endif  // JUGGLER_BENCH_CPU_OVERHEAD_COMMON_H_

@@ -1,0 +1,8 @@
+// Figure 9: CPU overhead, single-flow case. See cpu_overhead_common.h.
+
+#include "bench/cpu_overhead_common.h"
+
+int main() {
+  juggler::RunCpuOverheadFigure("Figure 9", 1);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 10: CPU overhead, 256-flow case. See cpu_overhead_common.h.
+
+#include "bench/cpu_overhead_common.h"
+
+int main() {
+  juggler::RunCpuOverheadFigure("Figure 10", 256);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 13: single-flow throughput vs ofo_timeout.
+//
+// Setup: one TCP flow at 10Gb/s through the NetFPGA switch with tau =
+// 250/500/750us of reordering; sweep ofo_timeout 100..1000us.
+//
+// Expected shape: throughput collapses when ofo_timeout is well below
+// tau - tau0 (tau0 = 125us interrupt coalescing, which absorbs part of the
+// reordering before GRO) because Juggler flushes holes early and TCP sees
+// reordering; it reaches line rate once ofo_timeout ~ tau - tau0 or larger.
+
+#include "bench/bench_common.h"
+
+namespace juggler {
+namespace {
+
+double RunOnce(TimeNs reorder, TimeNs ofo_timeout) {
+  SimWorld world;
+  NetFpgaOptions opt;
+  opt.link_rate_bps = 10 * kGbps;
+  opt.reorder_delay = reorder;
+  opt.sender = DefaultHost();
+  opt.receiver = DefaultHost();
+  JugglerConfig jcfg;
+  jcfg.inseq_timeout = Us(52);
+  jcfg.ofo_timeout = ofo_timeout;
+  opt.receiver.gro_factory = MakeJugglerFactory(jcfg);
+  NetFpgaTestbed t = BuildNetFpga(&world, opt);
+
+  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+  pair.a_to_b->SendForever();
+
+  const TimeNs warmup = Ms(30);
+  const TimeNs window = Ms(100);
+  world.loop.RunUntil(warmup);
+  GoodputMeter goodput(pair.b_to_a);
+  goodput.Reset();
+  world.loop.RunUntil(warmup + window);
+  return goodput.Gbps(window);
+}
+
+}  // namespace
+}  // namespace juggler
+
+int main() {
+  using namespace juggler;
+  PrintHeader("Figure 13",
+              "Single-flow throughput vs ofo_timeout (10Gb/s, NetFPGA reordering of\n"
+              "250/500/750us, interrupt coalescing tau0=125us). Line rate requires\n"
+              "ofo_timeout >= tau - tau0.");
+
+  const TimeNs reorders[] = {Us(250), Us(500), Us(750)};
+  const TimeNs ofos[] = {Us(50),  Us(100), Us(200), Us(300), Us(400),
+                         Us(500), Us(600), Us(700), Us(800), Us(1000)};
+  TablePrinter table({"ofo_timeout(us)", "tput@250us(Gb/s)", "tput@500us(Gb/s)",
+                      "tput@750us(Gb/s)"});
+  for (TimeNs ofo : ofos) {
+    std::vector<std::string> row{TablePrinter::Num(ToUs(ofo), 0)};
+    for (TimeNs reorder : reorders) {
+      row.push_back(TablePrinter::Num(RunOnce(reorder, ofo), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

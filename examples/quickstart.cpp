@@ -1,0 +1,78 @@
+// Quickstart: the smallest end-to-end Juggler demo.
+//
+// Two hosts, a 10Gb/s path that reorders packets by hashing them across two
+// lanes with a 250us delay difference (the paper's NetFPGA testbed), and one
+// bulk TCP flow. We run the identical experiment twice — once with the
+// stock "vanilla" GRO receive path and once with Juggler — and print what
+// the transport experienced.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/scenario/gro_factories.h"
+#include "src/scenario/topologies.h"
+
+using namespace juggler;
+
+namespace {
+
+void RunOnce(const char* label, NicRx::GroFactory gro_factory) {
+  // A SimWorld bundles the event loop, packet factory and CPU cost model.
+  SimWorld world;
+
+  // Describe the two hosts. Everything interesting lives in the GRO factory:
+  // it decides which engine each RX queue runs.
+  NetFpgaOptions opt;
+  opt.link_rate_bps = 10 * kGbps;
+  opt.reorder_delay = Us(250);
+  opt.sender.rx.int_coalesce = Us(125);
+  opt.sender.gro_factory = MakeStandardGroFactory();
+  opt.receiver = opt.sender;
+  opt.receiver.gro_factory = std::move(gro_factory);
+  NetFpgaTestbed testbed = BuildNetFpga(&world, opt);
+
+  // One bulk TCP connection, sender -> receiver.
+  EndpointPair conn = ConnectHosts(testbed.sender, testbed.receiver, 1000, 2000);
+  conn.a_to_b->SendForever();
+
+  // Simulate 200ms.
+  world.loop.RunUntil(Ms(200));
+
+  const GroStats gro = testbed.receiver->nic_rx()->TotalGroStats();
+  const TcpSenderStats& snd = conn.a_to_b->sender_stats();
+  const TcpReceiverStats& rcv = conn.b_to_a->receiver_stats();
+  std::printf("%s\n", label);
+  std::printf("  goodput             : %.2f Gb/s\n",
+              ToGbps(RateBps(static_cast<int64_t>(rcv.bytes_delivered), world.loop.now())));
+  std::printf("  batching extent     : %.1f MTUs/segment\n", gro.AvgBatchingExtent());
+  std::printf("  OOO segments at TCP : %lu\n", static_cast<unsigned long>(rcv.ooo_segments_in));
+  std::printf("  fast retransmits    : %lu\n",
+              static_cast<unsigned long>(snd.fast_retransmits));
+  std::printf("  ACKs sent           : %lu\n\n", static_cast<unsigned long>(rcv.acks_sent));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Juggler quickstart: 10Gb/s flow with 250us of path reordering\n\n");
+
+  RunOnce("vanilla receive path (standard GRO):", MakeStandardGroFactory());
+
+  // Juggler tuned per the paper's rule of thumb (§5.2.1): inseq_timeout =
+  // one 64KB TSO at line rate (52us at 10G); ofo_timeout ~ the reordering
+  // delay minus the 125us absorbed by interrupt coalescing.
+  JugglerConfig config;
+  config.inseq_timeout = Us(52);
+  config.ofo_timeout = Us(150);
+  config.max_flows = 64;
+  RunOnce("Juggler receive path:", MakeJugglerFactory(config));
+
+  std::printf(
+      "Expected: the vanilla run shows tiny batches, thousands of out-of-order\n"
+      "segments and spurious fast retransmits; the Juggler run batches ~34\n"
+      "MTUs/segment, hides (almost) all reordering and holds ~9.3Gb/s.\n");
+  return 0;
+}

@@ -1,0 +1,419 @@
+#include "src/core/juggler.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+namespace {
+
+// Join run i with following runs while they are contiguous, metadata-equal
+// and the merge stays under the segment cap.
+void CoalesceForward(std::vector<SegmentBuilder>* queue, size_t i, uint32_t max_payload) {
+  while (i + 1 < queue->size()) {
+    SegmentBuilder& cur = (*queue)[i];
+    SegmentBuilder& next = (*queue)[i + 1];
+    if (cur.end_seq() != next.start_seq() || cur.options_token() != next.options_token() ||
+        cur.segment().ce_mark != next.segment().ce_mark ||
+        cur.payload_len() + next.payload_len() > max_payload) {
+      return;
+    }
+    cur.Append(std::move(next));
+    queue->erase(queue->begin() + static_cast<long>(i) + 1);
+  }
+}
+
+// A run is "ready" to flush on the event-driven path when it carries urgent
+// flags or has no room for another MTU (Table 2 rows 2-3).
+bool RunReady(const SegmentBuilder& run, uint32_t max_payload) {
+  return run.needs_flush() || run.payload_len() + kMss > max_payload;
+}
+
+}  // namespace
+
+const char* FlowPhaseName(FlowPhase phase) {
+  switch (phase) {
+    case FlowPhase::kBuildUp:
+      return "build_up";
+    case FlowPhase::kActiveMerge:
+      return "active_merge";
+    case FlowPhase::kPostMerge:
+      return "post_merge";
+    case FlowPhase::kLossRecovery:
+      return "loss_recovery";
+  }
+  return "unknown";
+}
+
+Juggler::Juggler(const CpuCostModel* costs, const JugglerConfig& config)
+    : costs_(costs), config_(config) {
+  JUG_CHECK(config_.max_flows >= 1);
+  JUG_CHECK(config_.inseq_timeout >= 0 && config_.ofo_timeout >= 0);
+}
+
+Juggler::FlowList* Juggler::ListFor(FlowPhase phase) {
+  switch (phase) {
+    case FlowPhase::kBuildUp:
+    case FlowPhase::kActiveMerge:
+      return &active_list_;
+    case FlowPhase::kPostMerge:
+      return &inactive_list_;
+    case FlowPhase::kLossRecovery:
+      return &loss_list_;
+  }
+  return &active_list_;
+}
+
+void Juggler::SetPhase(FlowEntry* entry, FlowPhase phase) {
+  FlowList* from = ListFor(entry->phase);
+  FlowList* to = ListFor(phase);
+  if (from != to) {
+    from->Remove(entry);
+    to->PushBack(entry);
+  }
+  entry->phase = phase;
+  jstats_.max_active_list_len = std::max(jstats_.max_active_list_len, active_list_.size());
+}
+
+FlowEntry* Juggler::CreateEntry(const FiveTuple& tuple, TimeNs* cost) {
+  if (table_.size() >= config_.max_flows) {
+    *cost += EvictOne();
+  }
+  auto owned = std::make_unique<FlowEntry>();
+  FlowEntry* entry = owned.get();
+  entry->key = tuple;
+  entry->phase = FlowPhase::kBuildUp;
+  entry->flush_timestamp = Now();
+  table_.emplace(tuple, std::move(owned));
+  active_list_.PushBack(entry);
+  ++jstats_.flows_created;
+  jstats_.max_active_list_len = std::max(jstats_.max_active_list_len, active_list_.size());
+  return entry;
+}
+
+TimeNs Juggler::EvictOne() {
+  if (FlowEntry* victim = inactive_list_.front()) {
+    ++jstats_.evictions_inactive;
+    return EvictEntry(victim);
+  }
+  if (FlowEntry* victim = active_list_.front()) {
+    ++jstats_.evictions_active;
+    return EvictEntry(victim);
+  }
+  if (FlowEntry* victim = loss_list_.front()) {
+    ++jstats_.evictions_loss;
+    return EvictEntry(victim);
+  }
+  return 0;
+}
+
+TimeNs Juggler::EvictEntry(FlowEntry* entry) {
+  const TimeNs cost = FlushAll(entry, FlushReason::kEviction);
+  ++stats_.evictions;
+  ListFor(entry->phase)->Remove(entry);
+  table_.erase(entry->key);
+  return cost;
+}
+
+TimeNs Juggler::FlushAll(FlowEntry* entry, FlushReason reason) {
+  TimeNs cost = 0;
+  for (auto& run : entry->ooo_queue) {
+    entry->seq_next = run.end_seq();
+    Deliver(run.Take(), reason);
+    cost += costs_->gro_flush_per_segment;
+  }
+  entry->ooo_queue.clear();
+  return cost;
+}
+
+TimeNs Juggler::FlushPrefix(FlowEntry* entry, bool ready_only, FlushReason reason) {
+  TimeNs cost = 0;
+  bool flushed = false;
+  auto& queue = entry->ooo_queue;
+  while (!queue.empty() && queue.front().start_seq() == entry->seq_next) {
+    SegmentBuilder& run = queue.front();
+    const bool ready = RunReady(run, config_.max_segment_payload);
+    if (ready_only && !ready) {
+      break;
+    }
+    entry->seq_next = run.end_seq();
+    const FlushReason r =
+        ready_only ? (run.needs_flush() ? FlushReason::kFlags : FlushReason::kSizeLimit) : reason;
+    Deliver(run.Take(), r);
+    queue.erase(queue.begin());
+    cost += costs_->gro_flush_per_segment;
+    flushed = true;
+  }
+  if (flushed) {
+    entry->flush_timestamp = Now();
+    UpdatePhaseAfterFlush(entry);
+  }
+  return cost;
+}
+
+void Juggler::UpdatePhaseAfterFlush(FlowEntry* entry) {
+  if (entry->phase == FlowPhase::kLossRecovery) {
+    // Stays evict-averse until the hole at lost_seq fills (§4.2.5).
+    return;
+  }
+  SetPhase(entry, entry->ooo_queue.empty() ? FlowPhase::kPostMerge : FlowPhase::kActiveMerge);
+}
+
+TimeNs Juggler::HandleOfoTimeout(FlowEntry* entry) {
+  ++jstats_.ofo_timeout_events;
+  const Seq hole = entry->seq_next;
+  const TimeNs cost = FlushAll(entry, FlushReason::kOfoTimeout);
+  entry->flush_timestamp = Now();
+  if (entry->phase != FlowPhase::kLossRecovery) {
+    // Best-effort: track only the FIRST missing packet (§4.2.5). Repeated
+    // timeouts while already in loss recovery keep the original lost_seq —
+    // the earliest hole fills soonest, releasing the flow back to the
+    // active list promptly even when later holes are still open.
+    entry->lost_seq = hole;
+    ++jstats_.loss_recovery_entries;
+    SetPhase(entry, FlowPhase::kLossRecovery);
+  }
+  return cost;
+}
+
+TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate) {
+  *duplicate = false;
+  auto& queue = entry->ooo_queue;
+  const uint32_t max_payload = config_.max_segment_payload;
+  TimeNs cost = 0;
+
+  // In-order fast path: extend the tail of the in-sequence head run. This is
+  // the path all in-order traffic takes, and it costs exactly what standard
+  // GRO costs — no OOO machinery.
+  if (!queue.empty() && queue.front().start_seq() == entry->seq_next &&
+      p.seq == queue.front().end_seq()) {
+    switch (queue.front().TryMerge(p, max_payload)) {
+      case SegmentBuilder::MergeResult::kMerged:
+      case SegmentBuilder::MergeResult::kMergedFinal:
+        CoalesceForward(&queue, 0, max_payload);
+        return cost;
+      default:
+        break;  // metadata/size refusal: fall through to a fresh run
+    }
+  }
+  if (queue.empty()) {
+    if (p.seq != entry->seq_next) {
+      cost += costs_->juggler_ooo_insert;
+    }
+    queue.emplace_back();
+    queue.back().Start(p);
+    return cost;
+  }
+
+  // Search for the insert position from the tail: arriving packets carry
+  // recent sequence numbers, so the right spot is almost always at or near
+  // the back — O(1) in practice even when the queue holds many runs (§3.2).
+  cost += costs_->juggler_ooo_insert;
+  size_t idx = queue.size();  // insertion index among run starts
+  while (idx > 0 && SeqAfter(queue[idx - 1].start_seq(), p.seq)) {
+    --idx;
+    cost += costs_->juggler_ooo_search_per_run;
+  }
+  if (idx > 0) {
+    SegmentBuilder& prev = queue[idx - 1];  // prev.start <= p.seq
+    if (SeqBefore(p.seq, prev.end_seq())) {
+      // Overlaps buffered data: best-effort, let TCP deduplicate.
+      *duplicate = true;
+      ++jstats_.duplicate_packets;
+      Deliver(ToSegment(p), FlushReason::kSeqBeforeNext);
+      return cost + costs_->gro_flush_per_segment;
+    }
+    if (p.seq == prev.end_seq()) {
+      switch (prev.TryMerge(p, max_payload)) {
+        case SegmentBuilder::MergeResult::kMerged:
+        case SegmentBuilder::MergeResult::kMergedFinal:
+          CoalesceForward(&queue, idx - 1, max_payload);
+          return cost;
+        default:
+          break;  // metadata/size refusal: fresh run right after prev
+      }
+    }
+  }
+  if (idx < queue.size() && SeqAfter(p.end_seq(), queue[idx].start_seq())) {
+    // Overlaps the following run.
+    *duplicate = true;
+    ++jstats_.duplicate_packets;
+    Deliver(ToSegment(p), FlushReason::kSeqBeforeNext);
+    return cost + costs_->gro_flush_per_segment;
+  }
+  SegmentBuilder fresh;
+  fresh.Start(p);
+  queue.insert(queue.begin() + static_cast<long>(idx), std::move(fresh));
+  CoalesceForward(&queue, idx, max_payload);
+  return cost;
+}
+
+TimeNs Juggler::Receive(PacketPtr packet) {
+  ++stats_.packets_in;
+  TimeNs cost = costs_->gro_per_packet;
+  if (DeliverDirectIfUnmergeable(packet)) {
+    return cost + costs_->gro_flush_per_segment;
+  }
+  ++stats_.data_packets_in;
+  const Packet& p = *packet;
+
+  auto it = table_.find(p.flow);
+  if (it == table_.end()) {
+    // Initial phase (§4.2.1): create the entry, seed seq_next with this
+    // packet's sequence number, enter build-up.
+    FlowEntry* entry = CreateEntry(p.flow, &cost);
+    entry->seq_next = p.seq;
+    bool duplicate = false;
+    cost += InsertPacket(entry, p, &duplicate);
+    cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
+    return cost;
+  }
+  FlowEntry* entry = it->second.get();
+
+  if (entry->phase == FlowPhase::kBuildUp) {
+    // §4.2.2: seq_next may move backwards while we learn the true minimum.
+    if (SeqBefore(p.seq, entry->seq_next)) {
+      if (config_.enable_buildup_phase) {
+        entry->seq_next = p.seq;
+        ++jstats_.seq_next_backward_moves;
+      } else {
+        // Ablation: behave like active-merge from the first packet.
+        Deliver(ToSegment(p), FlushReason::kSeqBeforeNext);
+        return cost + costs_->gro_flush_per_segment;
+      }
+    }
+    if (p.seq != entry->seq_next || !entry->ooo_queue.empty()) {
+      const bool in_order = !entry->ooo_queue.empty() &&
+                            entry->ooo_queue.front().start_seq() == entry->seq_next &&
+                            p.seq == entry->ooo_queue.front().end_seq();
+      if (!in_order) {
+        ++stats_.ooo_packets;
+      }
+    }
+    bool duplicate = false;
+    cost += InsertPacket(entry, p, &duplicate);
+    cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
+    return cost;
+  }
+
+  if (SeqBefore(p.seq, entry->seq_next)) {
+    // Table 2 row 1: before seq_next means already flushed — likely a
+    // retransmission; never buffer it (Figure 6).
+    Deliver(ToSegment(p), FlushReason::kSeqBeforeNext);
+    cost += costs_->gro_flush_per_segment;
+    if (entry->phase == FlowPhase::kLossRecovery && SeqBeforeEq(p.seq, entry->lost_seq) &&
+        SeqAfter(p.end_seq(), entry->lost_seq)) {
+      // The hole filled: back to the active list (Figure 7). Best-effort —
+      // later holes need not have filled.
+      ++jstats_.loss_recovery_exits;
+      entry->flush_timestamp = Now();
+      entry->phase = FlowPhase::kActiveMerge;  // leave loss list first
+      loss_list_.Remove(entry);
+      active_list_.PushBack(entry);
+      jstats_.max_active_list_len = std::max(jstats_.max_active_list_len, active_list_.size());
+      UpdatePhaseAfterFlush(entry);
+    }
+    return cost;
+  }
+
+  // New data at or past seq_next: buffer it.
+  const bool in_order =
+      (entry->ooo_queue.empty() && p.seq == entry->seq_next) ||
+      (!entry->ooo_queue.empty() && entry->ooo_queue.front().start_seq() == entry->seq_next &&
+       p.seq == entry->ooo_queue.front().end_seq());
+  if (!in_order) {
+    ++stats_.ooo_packets;
+  }
+  if (entry->phase == FlowPhase::kPostMerge) {
+    // Reverse edge of §4.2.4: inactive flow becomes active again.
+    SetPhase(entry, FlowPhase::kActiveMerge);
+    entry->flush_timestamp = Now();
+  }
+  bool duplicate = false;
+  cost += InsertPacket(entry, p, &duplicate);
+  cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
+  if (entry->phase == FlowPhase::kActiveMerge && entry->ooo_queue.empty()) {
+    // Duplicate delivery may have left the queue empty with no flush.
+    SetPhase(entry, FlowPhase::kPostMerge);
+  }
+  return cost;
+}
+
+TimeNs Juggler::CheckTimeouts() {
+  TimeNs cost = 0;
+  const TimeNs now = Now();
+  FlowList* lists[] = {&active_list_, &loss_list_};
+  for (FlowList* list : lists) {
+    FlowEntry* entry = list->front();
+    while (entry != nullptr) {
+      FlowEntry* next = list->NextOf(entry);
+      if (!entry->ooo_queue.empty()) {
+        if (entry->ooo_queue.front().start_seq() == entry->seq_next &&
+            now - entry->flush_timestamp >= config_.inseq_timeout) {
+          ++jstats_.inseq_timeout_flushes;
+          cost += FlushPrefix(entry, /*ready_only=*/false, FlushReason::kInseqTimeout);
+        }
+        if (!entry->ooo_queue.empty() &&
+            entry->ooo_queue.front().start_seq() != entry->seq_next &&
+            now - entry->flush_timestamp >= config_.ofo_timeout) {
+          cost += HandleOfoTimeout(entry);
+        }
+      }
+      entry = next;
+    }
+  }
+  return cost;
+}
+
+TimeNs Juggler::FlowDeadline(const FlowEntry& entry) const {
+  if (entry.ooo_queue.empty()) {
+    return kNoTimer;
+  }
+  if (entry.ooo_queue.front().start_seq() == entry.seq_next) {
+    return entry.flush_timestamp + config_.inseq_timeout;
+  }
+  return entry.flush_timestamp + config_.ofo_timeout;
+}
+
+void Juggler::RearmTimer() {
+  TimeNs earliest = kNoTimer;
+  FlowList* lists[] = {const_cast<FlowList*>(&active_list_), const_cast<FlowList*>(&loss_list_)};
+  for (FlowList* list : lists) {
+    for (FlowEntry* entry : *list) {
+      const TimeNs deadline = FlowDeadline(*entry);
+      if (deadline != kNoTimer && (earliest == kNoTimer || deadline < earliest)) {
+        earliest = deadline;
+      }
+    }
+  }
+  if (earliest != armed_deadline_) {
+    armed_deadline_ = earliest;
+    ArmTimer(earliest);
+  }
+}
+
+std::vector<Juggler::FlowSnapshot> Juggler::DebugSnapshot() const {
+  std::vector<FlowSnapshot> out;
+  out.reserve(table_.size());
+  const TimeNs now = ctx_.now ? ctx_.now() : 0;
+  for (const auto& [key, entry] : table_) {
+    out.push_back(FlowSnapshot{key, entry->phase, entry->seq_next, entry->lost_seq,
+                               entry->ooo_queue.size(), now - entry->flush_timestamp});
+  }
+  return out;
+}
+
+TimeNs Juggler::PollComplete() {
+  const TimeNs cost = CheckTimeouts();
+  RearmTimer();
+  return cost;
+}
+
+TimeNs Juggler::OnTimer() {
+  armed_deadline_ = kNoTimer;
+  const TimeNs cost = CheckTimeouts();
+  RearmTimer();
+  return cost;
+}
+
+}  // namespace juggler

@@ -1,0 +1,190 @@
+// Juggler: the paper's reordering-resilient GRO engine (§4).
+//
+// Juggler extends GRO with a per-RX-queue `gro_table` of flow entries. Each
+// entry keeps an out-of-order queue of merged runs plus the state of §4.1:
+//
+//   flush_timestamp — last time this flow flushed packets up the stack
+//   seq_next        — best guess of the largest sequence already flushed
+//   lost_seq        — first missing byte when a loss was inferred
+//
+// A flow moves through the five phases of Figure 5 / Table 1 and is always a
+// member of exactly one of three lists (Figure 4):
+//
+//   active list        — build-up + active-merging flows (not safe to evict)
+//   inactive list      — post-merge flows (safe to evict: empty OOO queue)
+//   loss-recovery list — flows that hit ofo_timeout (eviction would cause
+//                        repeated timeouts, §4.3)
+//
+// Flush conditions are Table 2 verbatim: retransmissions (seq before
+// seq_next) bypass the queue, full 64KB segments and PSH/URG flags flush
+// eagerly, metadata mismatches split runs, and the two timeouts —
+// inseq_timeout and ofo_timeout — are checked at poll completions and in one
+// high-resolution timer callback per gro_table.
+//
+// On in-order traffic the fast path is byte-for-byte standard GRO: packets
+// merge into the head run and no out-of-order machinery runs, so there is no
+// extra CPU cost (§5.1.1).
+
+#ifndef JUGGLER_SRC_CORE_JUGGLER_H_
+#define JUGGLER_SRC_CORE_JUGGLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cpu/cost_model.h"
+#include "src/gro/gro_engine.h"
+#include "src/gro/segment_builder.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/seq.h"
+
+namespace juggler {
+
+struct JugglerConfig {
+  // Max time partially-merged in-sequence data may be held (Table 2 row 5).
+  // Rule of thumb (§5.2.1): the time to receive one max-size TSO segment at
+  // line rate — 52µs at 10Gb/s, 13µs at 40Gb/s. The paper's default is 15µs.
+  TimeNs inseq_timeout = Us(15);
+  // Max time to wait for a missing packet before declaring it lost (Table 2
+  // row 6). Set to the expected delay difference across paths minus the
+  // interrupt-coalescing period (§5.2.1). The paper's default is 50µs.
+  TimeNs ofo_timeout = Us(50);
+  // Hard cap on gro_table entries (§3.3: strict upper limit against memory
+  // exhaustion). §5.2.2 finds 8–64 suffices.
+  size_t max_flows = 64;
+  // GRO merge cap ("64KB" = 45 MTU payloads).
+  uint32_t max_segment_payload = kMaxTsoPayload;
+  // Remark 1 ablation: when false, seq_next is pinned to the first packet's
+  // sequence number instead of learning a minimum during build-up.
+  bool enable_buildup_phase = true;
+};
+
+enum class FlowPhase : uint8_t {
+  kBuildUp = 0,     // learning seq_next; it may move backwards (§4.2.2)
+  kActiveMerge,     // merging + flushing; seq_next only moves forward (§4.2.3)
+  kPostMerge,       // OOO queue empty; safe to evict (§4.2.4)
+  kLossRecovery,    // ofo_timeout inferred a loss; evict-averse (§4.2.5)
+};
+
+const char* FlowPhaseName(FlowPhase phase);
+
+// One gro_table entry (struct flow_entry in §4.1).
+struct FlowEntry {
+  FiveTuple key;
+  FlowPhase phase = FlowPhase::kBuildUp;
+  // Out-of-order queue: runs of merged contiguous packets, sorted by start
+  // sequence. Contiguous same-metadata runs coalesce, so the queue stays as
+  // short as the number of distinct holes + metadata boundaries.
+  std::vector<SegmentBuilder> ooo_queue;
+  TimeNs flush_timestamp = 0;
+  Seq seq_next = 0;
+  Seq lost_seq = 0;
+  IntrusiveListNode list_node;
+};
+
+struct JugglerStats {
+  uint64_t flows_created = 0;
+  uint64_t evictions_inactive = 0;
+  uint64_t evictions_active = 0;
+  uint64_t evictions_loss = 0;
+  uint64_t inseq_timeout_flushes = 0;
+  uint64_t ofo_timeout_events = 0;
+  uint64_t seq_next_backward_moves = 0;
+  uint64_t loss_recovery_entries = 0;
+  uint64_t loss_recovery_exits = 0;
+  uint64_t duplicate_packets = 0;  // overlapped an existing buffered run
+  size_t max_active_list_len = 0;
+};
+
+class Juggler : public GroEngine {
+ public:
+  Juggler(const CpuCostModel* costs, const JugglerConfig& config);
+
+  TimeNs Receive(PacketPtr packet) override;
+  TimeNs PollComplete() override;
+  TimeNs OnTimer() override;
+  std::string name() const override { return "juggler"; }
+
+  const JugglerConfig& config() const { return config_; }
+  const JugglerStats& juggler_stats() const { return jstats_; }
+
+  // Instantaneous list lengths, for the Figure 15/16 experiments.
+  size_t active_list_len() const { return active_list_.size(); }
+  size_t inactive_list_len() const { return inactive_list_.size(); }
+  size_t loss_list_len() const { return loss_list_.size(); }
+  size_t flow_table_size() const { return table_.size(); }
+
+  // Introspection for debugging and tooling: a snapshot of one flow entry.
+  struct FlowSnapshot {
+    FiveTuple key;
+    FlowPhase phase;
+    Seq seq_next;
+    Seq lost_seq;
+    size_t queue_runs;
+    TimeNs since_flush;
+  };
+  std::vector<FlowSnapshot> DebugSnapshot() const;
+
+ private:
+  using FlowList = IntrusiveList<FlowEntry, &FlowEntry::list_node>;
+
+  FlowList* ListFor(FlowPhase phase);
+
+  // Moves `entry` to the list matching `phase` and updates entry->phase.
+  void SetPhase(FlowEntry* entry, FlowPhase phase);
+
+  // Creates an entry for `tuple`, evicting if the table is full. Adds the
+  // eviction cost to *cost. Never fails: the table has at least one entry to
+  // evict when full (max_flows >= 1).
+  FlowEntry* CreateEntry(const FiveTuple& tuple, TimeNs* cost);
+
+  // §4.3 eviction order: inactive first, then FIFO from the active list,
+  // then (last resort, to honor the strict memory bound) loss recovery.
+  TimeNs EvictOne();
+  TimeNs EvictEntry(FlowEntry* entry);
+
+  // Inserts a data packet (seq >= seq_next, or build-up) into the OOO queue,
+  // merging/coalescing runs. Returns CPU cost; sets *duplicate when the
+  // packet overlapped an existing run and was delivered directly.
+  TimeNs InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate);
+
+  // Flushes contiguous runs starting at seq_next. When `ready_only`, stops
+  // at the first run that is neither full nor flagged; otherwise flushes the
+  // whole contiguous prefix (timeout/eviction path).
+  TimeNs FlushPrefix(FlowEntry* entry, bool ready_only, FlushReason reason);
+
+  // Flushes the entire queue in sequence order (ofo_timeout / eviction).
+  TimeNs FlushAll(FlowEntry* entry, FlushReason reason);
+
+  // §4.2.5: ofo_timeout fired with a hole at the head.
+  TimeNs HandleOfoTimeout(FlowEntry* entry);
+
+  // Phase transition after a flush (Figure 5 edges out of build-up /
+  // active-merging).
+  void UpdatePhaseAfterFlush(FlowEntry* entry);
+
+  // Timeout checks over the active and loss-recovery lists (§4.2.2: "checked
+  // at the end of the polling interval and in one high resolution timer
+  // callback per gro_table").
+  TimeNs CheckTimeouts();
+
+  // Earliest pending deadline of `entry`, or kNoTimer.
+  TimeNs FlowDeadline(const FlowEntry& entry) const;
+
+  void RearmTimer();
+
+  const CpuCostModel* costs_;
+  JugglerConfig config_;
+  JugglerStats jstats_;
+
+  std::unordered_map<FiveTuple, std::unique_ptr<FlowEntry>, FiveTupleHash> table_;
+  FlowList active_list_;
+  FlowList inactive_list_;
+  FlowList loss_list_;
+  TimeNs armed_deadline_ = kNoTimer;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_CORE_JUGGLER_H_

@@ -1,0 +1,72 @@
+// Calibrated per-operation CPU costs for the receive path.
+//
+// The absolute values are not the point — the paper ran on Xeons we don't
+// have. What matters is the structure: per-packet costs dominate the RX core,
+// per-segment costs dominate the application core, so the segment rate (set
+// by GRO batching extent) decides whether the app core saturates. Defaults
+// are calibrated so a fully-batched 20Gb/s flow lands near the paper's
+// baseline core usage and the vanilla-with-reordering case saturates with
+// roughly the paper's ~35% throughput loss (§5.1.1).
+
+#ifndef JUGGLER_SRC_CPU_COST_MODEL_H_
+#define JUGGLER_SRC_CPU_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace juggler {
+
+struct CpuCostModel {
+  // ---- RX core (driver + GRO softirq) ----
+  // Ring/DMA/driver work per wire packet.
+  TimeNs driver_per_packet = 150;
+  // GRO flow lookup + in-sequence merge per packet (standard GRO and
+  // Juggler's fast path alike).
+  TimeNs gro_per_packet = 70;
+  // Handing one merged segment up the stack (netfilter entry, skb fixups).
+  TimeNs gro_flush_per_segment = 500;
+  // Fixed cost to enter a NAPI polling session (IRQ + softirq entry).
+  TimeNs napi_poll_overhead = 2000;
+  // Cost per re-poll round while staying in polling mode (ring re-check).
+  TimeNs napi_repoll_overhead = 150;
+  // Juggler: extra work when a packet takes the out-of-order path (queue
+  // insert, run merge). Charged only for packets that actually go through
+  // the OOO queue, so in-order traffic costs exactly what standard GRO does.
+  TimeNs juggler_ooo_insert = 40;
+  // Juggler: per run traversed while searching the OOO queue for the insert
+  // position.
+  TimeNs juggler_ooo_search_per_run = 15;
+  // Linked-list GRO (§3.1 alternative): chaining sk_buffs defeats the frags[]
+  // cache locality; extra cost per packet merged into a chain. Calibrated to
+  // the paper's "50% more CPU" on in-order traffic.
+  TimeNs linkedlist_chain_per_packet = 110;
+
+  // ---- Application core (TCP + socket + app) ----
+  // Calibrated against two anchors from the paper: (a) a fully-batched flow
+  // saturates one app core near 25Gb/s (the Fig. 18 ceiling / the footnote
+  // that one core cannot take 40Gb/s), and (b) under reordering the vanilla
+  // stack sees ~15x more segments (~3-MTU average batches) and saturates
+  // around a 35% throughput loss from 20Gb/s (§5.1.1). Solving both gives
+  // ~0.30ns per payload byte and ~1.37us per segment+ACK.
+  // TCP segment processing, socket queueing, app wakeup — per segment.
+  TimeNs tcp_per_segment = 1000;
+  // Copy-to-user and checksum touch — per payload byte.
+  double tcp_per_byte = 0.30;
+  // Building and sending one ACK.
+  TimeNs ack_tx = 370;
+
+  // ---- Sender side ----
+  // Processing one incoming ACK at the sender.
+  TimeNs ack_rx = 600;
+  // Cutting and pushing one TSO burst to the NIC.
+  TimeNs tso_send = 1500;
+
+  TimeNs AppSegmentCost(uint32_t payload_len) const {
+    return tcp_per_segment + static_cast<TimeNs>(tcp_per_byte * payload_len);
+  }
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_CPU_COST_MODEL_H_

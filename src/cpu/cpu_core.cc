@@ -1,0 +1,23 @@
+#include "src/cpu/cpu_core.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+void CpuCore::Submit(TimeNs cost, std::function<void()> done) {
+  JUG_CHECK(cost >= 0);
+  const TimeNs now = loop_->now();
+  const TimeNs start = free_at_ > now ? free_at_ : now;
+  free_at_ = start + cost;
+  busy_ns_ += cost;
+  loop_->ScheduleAt(free_at_, std::move(done));
+}
+
+TimeNs CpuCore::backlog_ns() const {
+  const TimeNs now = loop_->now();
+  return free_at_ > now ? free_at_ - now : 0;
+}
+
+}  // namespace juggler

@@ -1,0 +1,82 @@
+// CPU core model.
+//
+// A CpuCore is a non-preemptive FIFO server on the event loop: work items are
+// submitted with a cost (nanoseconds of core time) and a completion callback.
+// Items start in submission order as the core frees up; the core tracks total
+// busy time so experiments can report utilisation over a window, exactly the
+// "core usage %" metric in Figures 9, 10 and 12 of the paper.
+//
+// This is the coupling point between batching and throughput: every segment
+// GRO delivers costs app-core time before the receiver ACKs it and frees
+// receive-window space, so a saturated core throttles TCP the same way it
+// does on real hardware.
+
+#ifndef JUGGLER_SRC_CPU_CPU_CORE_H_
+#define JUGGLER_SRC_CPU_CPU_CORE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/sim/event_loop.h"
+#include "src/util/time.h"
+
+namespace juggler {
+
+class CpuCore {
+ public:
+  CpuCore(EventLoop* loop, std::string name) : loop_(loop), name_(std::move(name)) {}
+
+  CpuCore(const CpuCore&) = delete;
+  CpuCore& operator=(const CpuCore&) = delete;
+
+  // Enqueue `cost` ns of work; `done` fires when the work completes. Because
+  // the server is FIFO and non-preemptive, completions preserve submission
+  // order — required so TCP segments are processed in delivery order.
+  void Submit(TimeNs cost, std::function<void()> done);
+
+  // Core time consumed since construction (monotone).
+  TimeNs busy_ns() const { return busy_ns_; }
+
+  // Work submitted but not yet completed, in ns of core time. This is the
+  // queueing backlog; receivers use it for receive-window backpressure.
+  TimeNs backlog_ns() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  EventLoop* loop_;
+  std::string name_;
+  TimeNs free_at_ = 0;   // absolute time the core finishes all queued work
+  TimeNs busy_ns_ = 0;
+};
+
+// Snapshot helper: utilisation of a core over a measurement window.
+class CpuUsageMeter {
+ public:
+  explicit CpuUsageMeter(const CpuCore* core) : core_(core) { Reset(0); }
+
+  void Reset(TimeNs now) {
+    window_start_ = now;
+    busy_at_start_ = core_->busy_ns();
+  }
+
+  // Fraction of the window [reset, now] the core was busy, in [0, 1].
+  double Utilization(TimeNs now) const {
+    const TimeNs window = now - window_start_;
+    if (window <= 0) {
+      return 0.0;
+    }
+    const double busy = static_cast<double>(core_->busy_ns() - busy_at_start_);
+    const double frac = busy / static_cast<double>(window);
+    return frac > 1.0 ? 1.0 : frac;
+  }
+
+ private:
+  const CpuCore* core_;
+  TimeNs window_start_ = 0;
+  TimeNs busy_at_start_ = 0;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_CPU_CPU_CORE_H_

@@ -1,0 +1,133 @@
+// The Generic Receive Offload engine interface.
+//
+// A GroEngine sits where Figure 2 of the paper places GRO: the NAPI poll loop
+// feeds it raw packets, and it delivers merged Segments up the stack. The
+// interface mirrors the three entry points the kernel gives the layer:
+//
+//   Receive()      — one packet from the ring, inside a polling round
+//   PollComplete() — the polling round finished (ring drained / budget hit)
+//   OnTimer()      — the engine's high-resolution timer fired
+//
+// Each call returns the CPU cost (ns of RX-core time) the operation consumed;
+// the NIC model charges that to the RX core so "core usage %" in the benches
+// reflects what the engine actually did. Deliveries happen synchronously via
+// the context's deliver callback; the NIC batches them behind the CPU charge.
+//
+// Engines are per-RX-queue objects, exactly as in the paper ("different RX
+// queues operate independently and have their private data structures").
+
+#ifndef JUGGLER_SRC_GRO_GRO_ENGINE_H_
+#define JUGGLER_SRC_GRO_GRO_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/packet/packet.h"
+#include "src/util/time.h"
+
+namespace juggler {
+
+// Why a segment was flushed up the stack — the rows of Table 2.
+enum class FlushReason : int {
+  kSeqBeforeNext = 0,   // likely retransmission
+  kSizeLimit,           // merged segment reached 64KB
+  kFlags,               // PSH/URG/SYN/FIN force delivery
+  kMetaMismatch,        // TCP options / CE marks differ
+  kInseqTimeout,        // in-sequence data held too long
+  kOfoTimeout,          // missing packet presumed lost
+  kPollEnd,             // standard GRO flush at poll completion
+  kEviction,            // flow evicted from the gro_table
+  kOutOfOrder,          // standard GRO: next packet not in sequence
+  kPureAck,             // ACKs pass straight through
+  kReasonCount,
+};
+
+const char* FlushReasonName(FlushReason reason);
+
+struct GroStats {
+  uint64_t packets_in = 0;
+  uint64_t acks_in = 0;
+  uint64_t data_packets_in = 0;
+  uint64_t ooo_packets = 0;  // packets whose seq != the flow's expected next
+  uint64_t segments_out = 0;
+  uint64_t data_segments_out = 0;
+  uint64_t mtus_out = 0;
+  uint64_t evictions = 0;
+  uint64_t flush_by_reason[static_cast<int>(FlushReason::kReasonCount)] = {};
+
+  // Average MTUs per delivered data segment — the "batching extent" metric
+  // of Figure 12.
+  double AvgBatchingExtent() const {
+    return data_segments_out == 0
+               ? 0.0
+               : static_cast<double>(mtus_out) / static_cast<double>(data_segments_out);
+  }
+};
+
+class GroEngine {
+ public:
+  struct Context {
+    // Current time (the NIC wires this to the event loop).
+    std::function<TimeNs()> now;
+    // Hand a merged segment up the stack.
+    std::function<void(Segment)> deliver;
+    // Arm (or re-arm) the engine's single high-resolution timer at an
+    // absolute time; kNoTimer disarms it. The host calls OnTimer() when it
+    // fires.
+    std::function<void(TimeNs)> arm_timer;
+  };
+
+  static constexpr TimeNs kNoTimer = -1;
+
+  virtual ~GroEngine() = default;
+
+  void set_context(Context ctx) { ctx_ = std::move(ctx); }
+
+  // Process one packet. Ownership transfers to the engine.
+  virtual TimeNs Receive(PacketPtr packet) = 0;
+
+  // A NAPI polling round completed.
+  virtual TimeNs PollComplete() = 0;
+
+  // The armed timer fired. Default: nothing (engines without timeouts).
+  virtual TimeNs OnTimer() { return 0; }
+
+  virtual std::string name() const = 0;
+
+  const GroStats& stats() const { return stats_; }
+  GroStats* mutable_stats() { return &stats_; }
+
+ protected:
+  TimeNs Now() const { return ctx_.now(); }
+
+  void Deliver(Segment segment, FlushReason reason) {
+    ++stats_.segments_out;
+    ++stats_.flush_by_reason[static_cast<int>(reason)];
+    if (segment.payload_len > 0) {
+      ++stats_.data_segments_out;
+      stats_.mtus_out += segment.mtu_count;
+    }
+    ctx_.deliver(std::move(segment));
+  }
+
+  void ArmTimer(TimeNs when) {
+    if (ctx_.arm_timer) {
+      ctx_.arm_timer(when);
+    }
+  }
+
+  // Common fast path for packets GRO never merges (pure ACKs, SYN/FIN).
+  // Returns true if the packet was handled.
+  bool DeliverDirectIfUnmergeable(PacketPtr& packet);
+
+  // Converts a single packet into a one-MTU segment.
+  static Segment ToSegment(const Packet& p);
+
+  Context ctx_;
+  GroStats stats_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_GRO_GRO_ENGINE_H_

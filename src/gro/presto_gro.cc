@@ -1,0 +1,126 @@
+#include "src/gro/presto_gro.h"
+
+#include "src/util/seq.h"
+
+namespace juggler {
+
+TimeNs PrestoGro::FlushInseq(FlowState* flow, FlushReason reason) {
+  if (flow->inseq.empty()) {
+    return 0;
+  }
+  Deliver(flow->inseq.Take(), reason);
+  return costs_->gro_flush_per_segment;
+}
+
+TimeNs PrestoGro::DrainContiguous(FlowState* flow) {
+  TimeNs cost = 0;
+  while (!flow->ooo.empty()) {
+    auto it = flow->ooo.begin();
+    if (it->second.start_seq() != flow->expected) {
+      break;
+    }
+    SegmentBuilder run = std::move(it->second);
+    flow->ooo.erase(it);
+    flow->expected = run.end_seq();
+    if (flow->inseq.empty()) {
+      flow->inseq = std::move(run);
+    } else if (run.start_seq() == flow->inseq.end_seq() &&
+               run.options_token() == flow->inseq.options_token()) {
+      flow->inseq.Append(std::move(run));
+    } else {
+      cost += FlushInseq(flow, FlushReason::kMetaMismatch);
+      flow->inseq = std::move(run);
+    }
+    if (flow->inseq.payload_len() >= kMaxTsoPayload || flow->inseq.needs_flush()) {
+      cost += FlushInseq(flow, FlushReason::kSizeLimit);
+    }
+  }
+  return cost;
+}
+
+TimeNs PrestoGro::Receive(PacketPtr packet) {
+  ++stats_.packets_in;
+  TimeNs cost = costs_->gro_per_packet;
+  if (DeliverDirectIfUnmergeable(packet)) {
+    return cost + costs_->gro_flush_per_segment;
+  }
+  ++stats_.data_packets_in;
+
+  FlowState& flow = flows_[packet->flow];
+  if (!flow.has_expected) {
+    flow.has_expected = true;
+    flow.expected = packet->seq;
+  }
+
+  if (SeqBefore(packet->seq, flow.expected)) {
+    // Retransmission (or pre-history): straight up the stack.
+    Deliver(ToSegment(*packet), FlushReason::kSeqBeforeNext);
+    return cost + costs_->gro_flush_per_segment;
+  }
+
+  if (packet->seq == flow.expected) {
+    if (flow.inseq.empty()) {
+      flow.inseq.Start(*packet);
+      flow.expected = packet->end_seq();
+    } else {
+      switch (flow.inseq.TryMerge(*packet, kMaxTsoPayload)) {
+        case SegmentBuilder::MergeResult::kMerged:
+        case SegmentBuilder::MergeResult::kMergedFinal:
+          flow.expected = packet->end_seq();
+          break;
+        default:
+          cost += FlushInseq(&flow, FlushReason::kMetaMismatch);
+          flow.inseq.Start(*packet);
+          flow.expected = packet->end_seq();
+          break;
+      }
+    }
+    cost += DrainContiguous(&flow);
+    if (!flow.inseq.empty() &&
+        (flow.inseq.payload_len() >= kMaxTsoPayload || flow.inseq.needs_flush())) {
+      cost += FlushInseq(&flow, FlushReason::kSizeLimit);
+    }
+    return cost;
+  }
+
+  // Beyond the expected byte: buffer the run (flowcell arriving early).
+  ++stats_.ooo_packets;
+  cost += costs_->juggler_ooo_insert;
+  if (flow.ooo.empty()) {
+    flow.oldest_ooo_arrival = Now();
+  }
+  // Try to extend the run that ends exactly at this packet's seq.
+  auto next = flow.ooo.lower_bound(packet->seq);
+  if (next != flow.ooo.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.end_seq() == packet->seq &&
+        prev->second.TryMerge(*packet, kMaxTsoPayload) !=
+            SegmentBuilder::MergeResult::kRefusedOoo) {
+      return cost;
+    }
+  }
+  SegmentBuilder run;
+  run.Start(*packet);
+  flow.ooo.emplace(packet->seq, std::move(run));
+  return cost;
+}
+
+TimeNs PrestoGro::PollComplete() {
+  TimeNs cost = 0;
+  const TimeNs now = Now();
+  for (auto& [tuple, flow] : flows_) {
+    cost += FlushInseq(&flow, FlushReason::kPollEnd);
+    if (!flow.ooo.empty() && now - flow.oldest_ooo_arrival >= config_.ooo_flush_timeout) {
+      // Coarse timeout: give up on the gap, deliver runs as-is.
+      for (auto& [seq, run] : flow.ooo) {
+        flow.expected = SeqMax(flow.expected, run.end_seq());
+        Deliver(run.Take(), FlushReason::kOfoTimeout);
+        cost += costs_->gro_flush_per_segment;
+      }
+      flow.ooo.clear();
+    }
+  }
+  return cost;
+}
+
+}  // namespace juggler

@@ -1,0 +1,63 @@
+// Presto-style GRO (He et al., SIGCOMM'15), the §6 comparison point.
+//
+// Presto also adds an out-of-order buffer to GRO, but differs from Juggler in
+// the ways the paper calls out:
+//   * it keeps state for every connection it has ever seen (no eviction, so
+//     the flow table grows without bound — the memory-exhaustion concern of
+//     §3.3; watch `flow_table_size()`),
+//   * it is built for TSO-granularity reordering: out-of-order runs are only
+//     reconciled when the gap fills or a coarse timeout passes at poll
+//     completion; there are no fine-grained inseq/ofo timers, no build-up
+//     phase and no loss-recovery handling.
+
+#ifndef JUGGLER_SRC_GRO_PRESTO_GRO_H_
+#define JUGGLER_SRC_GRO_PRESTO_GRO_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "src/cpu/cost_model.h"
+#include "src/gro/gro_engine.h"
+#include "src/gro/segment_builder.h"
+
+namespace juggler {
+
+struct PrestoGroConfig {
+  // OOO runs older than this are flushed at poll completion.
+  TimeNs ooo_flush_timeout = Ms(1);
+};
+
+class PrestoGro : public GroEngine {
+ public:
+  PrestoGro(const CpuCostModel* costs, const PrestoGroConfig& config)
+      : costs_(costs), config_(config) {}
+
+  TimeNs Receive(PacketPtr packet) override;
+  TimeNs PollComplete() override;
+  std::string name() const override { return "presto_gro"; }
+
+  size_t flow_table_size() const { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    bool has_expected = false;
+    Seq expected = 0;           // next in-order byte
+    SegmentBuilder inseq;       // accumulating in-order segment
+    std::map<Seq, SegmentBuilder> ooo;  // keyed by run start, wrap-naive*
+    TimeNs oldest_ooo_arrival = 0;
+    // *NOTE: std::map keys compare as plain uint32_t. A run spanning the
+    // 2^32 wrap would sort wrong; flows are flushed far more often than 4GB
+    // so this matches Presto's own simplification.
+  };
+
+  TimeNs DrainContiguous(FlowState* flow);
+  TimeNs FlushInseq(FlowState* flow, FlushReason reason);
+
+  const CpuCostModel* costs_;
+  PrestoGroConfig config_;
+  std::unordered_map<FiveTuple, FlowState, FiveTupleHash> flows_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_GRO_PRESTO_GRO_H_

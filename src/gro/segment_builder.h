@@ -1,0 +1,109 @@
+// Accumulates in-sequence packets into one Segment — the frags[]-array merge
+// of Figure 3 (left). Shared by the GRO baselines and by Juggler's
+// in-sequence path and OOO-queue runs.
+
+#ifndef JUGGLER_SRC_GRO_SEGMENT_BUILDER_H_
+#define JUGGLER_SRC_GRO_SEGMENT_BUILDER_H_
+
+#include "src/packet/packet.h"
+#include "src/util/seq.h"
+
+namespace juggler {
+
+class SegmentBuilder {
+ public:
+  enum class MergeResult {
+    kMerged,          // appended; keep accumulating
+    kMergedFinal,     // appended but the segment must flush now (PSH / size)
+    kRefusedOoo,      // packet not contiguous with the segment tail
+    kRefusedMeta,     // options token / CE mark mismatch (Table 2 row 4)
+    kRefusedSize,     // merging would exceed max_payload
+  };
+
+  bool empty() const { return segment_.mtu_count == 0; }
+
+  // Begin a new segment from `p`. Requires empty().
+  void Start(const Packet& p) {
+    segment_ = Segment{};
+    segment_.flow = p.flow;
+    segment_.seq = p.seq;
+    segment_.payload_len = p.payload_len;
+    segment_.mtu_count = 1;
+    segment_.flags = p.flags;
+    segment_.ack_seq = p.ack_seq;
+    segment_.ack_rwnd = p.ack_rwnd;
+    segment_.ce_mark = p.ce_mark;
+    segment_.first_rx_time = p.nic_rx_time;
+    segment_.last_rx_time = p.nic_rx_time;
+    segment_.sent_time = p.sent_time;
+    options_token_ = p.options_token;
+    needs_flush_ = (p.flags & (kFlagPsh | kFlagUrg)) != 0;
+  }
+
+  // Try to append `p` at the tail. Only exact tail continuation merges;
+  // anything else is the caller's problem (flush, buffer, ...).
+  MergeResult TryMerge(const Packet& p, uint32_t max_payload) {
+    if (p.seq != segment_.end_seq()) {
+      return MergeResult::kRefusedOoo;
+    }
+    if (p.options_token != options_token_ || p.ce_mark != segment_.ce_mark) {
+      return MergeResult::kRefusedMeta;
+    }
+    if (segment_.payload_len + p.payload_len > max_payload) {
+      return MergeResult::kRefusedSize;
+    }
+    segment_.payload_len += p.payload_len;
+    segment_.mtu_count += 1;
+    segment_.flags |= p.flags;
+    segment_.ack_seq = p.ack_seq;  // latest cumulative ACK wins
+    segment_.ack_rwnd = p.ack_rwnd;
+    if (p.nic_rx_time > segment_.last_rx_time) {
+      segment_.last_rx_time = p.nic_rx_time;
+    }
+    const bool urgent = (p.flags & (kFlagPsh | kFlagUrg)) != 0;
+    needs_flush_ = needs_flush_ || urgent;
+    const bool full = segment_.payload_len >= max_payload;
+    return (urgent || full) ? MergeResult::kMergedFinal : MergeResult::kMerged;
+  }
+
+  // True when the segment carries flags that demand immediate delivery.
+  bool needs_flush() const { return needs_flush_; }
+
+  Seq start_seq() const { return segment_.seq; }
+  Seq end_seq() const { return segment_.end_seq(); }
+  uint32_t payload_len() const { return segment_.payload_len; }
+  uint32_t mtu_count() const { return segment_.mtu_count; }
+  uint32_t options_token() const { return options_token_; }
+  const Segment& segment() const { return segment_; }
+
+  // Hand out the finished segment and reset to empty.
+  Segment Take() {
+    Segment out = segment_;
+    segment_ = Segment{};
+    needs_flush_ = false;
+    return out;
+  }
+
+  // Merge `later` onto the tail of this builder. Caller guarantees
+  // later.start_seq() == end_seq() and matching metadata.
+  void Append(SegmentBuilder&& later) {
+    segment_.payload_len += later.segment_.payload_len;
+    segment_.mtu_count += later.segment_.mtu_count;
+    segment_.flags |= later.segment_.flags;
+    segment_.ack_seq = later.segment_.ack_seq;
+    segment_.ack_rwnd = later.segment_.ack_rwnd;
+    if (later.segment_.last_rx_time > segment_.last_rx_time) {
+      segment_.last_rx_time = later.segment_.last_rx_time;
+    }
+    needs_flush_ = needs_flush_ || later.needs_flush_;
+  }
+
+ private:
+  Segment segment_{};
+  uint32_t options_token_ = 0;
+  bool needs_flush_ = false;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_GRO_SEGMENT_BUILDER_H_

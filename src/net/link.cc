@@ -1,0 +1,98 @@
+#include "src/net/link.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+Link::Link(EventLoop* loop, std::string name, const LinkConfig& config, PacketSink* sink)
+    : loop_(loop),
+      name_(std::move(name)),
+      config_(config),
+      sink_(sink),
+      red_rng_(config.red_seed) {
+  JUG_CHECK(config_.num_priorities >= 1);
+  JUG_CHECK(config_.rate_bps > 0);
+  queues_.resize(static_cast<size_t>(config_.num_priorities));
+  queued_bytes_.resize(static_cast<size_t>(config_.num_priorities), 0);
+}
+
+void Link::Accept(PacketPtr packet) {
+  size_t level = static_cast<size_t>(packet->priority);
+  if (level >= queues_.size()) {
+    level = queues_.size() - 1;  // single-FIFO links ignore priority
+  }
+  const int64_t wire = packet->wire_bytes();
+  if (config_.queue_limit_bytes > 0 && queued_bytes_[level] + wire > config_.queue_limit_bytes) {
+    ++stats_.drops;
+    return;  // drop-tail
+  }
+  if (config_.ecn && config_.queue_limit_bytes > 0 && packet->payload_len > 0) {
+    const double fill = static_cast<double>(queued_bytes_[level]) /
+                        static_cast<double>(config_.queue_limit_bytes);
+    if (fill > config_.ecn_threshold_fill) {
+      packet->ce_mark = true;
+      ++stats_.ecn_marks;
+    }
+  }
+  if (config_.red && config_.queue_limit_bytes > 0) {
+    const double fill = static_cast<double>(queued_bytes_[level]) /
+                        static_cast<double>(config_.queue_limit_bytes);
+    if (fill > config_.red_min_fill) {
+      const double ramp = (fill - config_.red_min_fill) /
+                          (config_.red_max_fill - config_.red_min_fill);
+      const double p = config_.red_pmax * (ramp > 1.0 ? 1.0 : ramp);
+      if (red_rng_.NextBool(p)) {
+        ++stats_.drops;
+        ++stats_.red_drops;
+        return;
+      }
+    }
+  }
+  queued_bytes_[level] += wire;
+  total_queued_bytes_ += wire;
+  if (total_queued_bytes_ > stats_.max_queue_bytes) {
+    stats_.max_queue_bytes = total_queued_bytes_;
+  }
+  queues_[level].push_back(std::move(packet));
+  StartNextIfIdle();
+}
+
+void Link::StartNextIfIdle() {
+  if (transmitting_) {
+    return;
+  }
+  for (size_t level = 0; level < queues_.size(); ++level) {
+    if (queues_[level].empty()) {
+      continue;
+    }
+    in_flight_ = std::move(queues_[level].front());
+    queues_[level].pop_front();
+    const int64_t wire = in_flight_->wire_bytes();
+    queued_bytes_[level] -= wire;
+    transmitting_ = true;
+    loop_->Schedule(SerializationTime(wire, config_.rate_bps), [this] { OnTransmitDone(); });
+    return;
+  }
+}
+
+void Link::OnTransmitDone() {
+  PacketPtr packet = std::move(in_flight_);
+  const int64_t wire = packet->wire_bytes();
+  total_queued_bytes_ -= wire;
+  ++stats_.packets_tx;
+  stats_.bytes_tx += static_cast<uint64_t>(wire);
+  transmitting_ = false;
+  if (config_.propagation_delay > 0) {
+    // Hand the packet off after flight time; release it into the closure.
+    PacketSink* sink = sink_;
+    Packet* raw = packet.release();
+    loop_->Schedule(config_.propagation_delay, [sink, raw] { sink->Accept(PacketPtr(raw)); });
+  } else {
+    sink_->Accept(std::move(packet));
+  }
+  StartNextIfIdle();
+}
+
+}  // namespace juggler

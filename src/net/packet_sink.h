@@ -1,0 +1,35 @@
+// The one-method interface every packet-forwarding element implements.
+// Ownership of the packet transfers on Accept().
+
+#ifndef JUGGLER_SRC_NET_PACKET_SINK_H_
+#define JUGGLER_SRC_NET_PACKET_SINK_H_
+
+#include "src/packet/packet.h"
+
+namespace juggler {
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void Accept(PacketPtr packet) = 0;
+};
+
+// Late-bound forwarding sink, for wiring cycles (host A's uplink ends at
+// host B, whose uplink ends at host A). Set the target before traffic flows.
+class LatchSink : public PacketSink {
+ public:
+  void set_target(PacketSink* target) { target_ = target; }
+
+  void Accept(PacketPtr packet) override {
+    if (target_ != nullptr) {
+      target_->Accept(std::move(packet));
+    }
+  }
+
+ private:
+  PacketSink* target_ = nullptr;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_NET_PACKET_SINK_H_

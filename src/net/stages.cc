@@ -1,0 +1,30 @@
+#include "src/net/stages.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+ReorderStage::ReorderStage(EventLoop* loop, std::vector<TimeNs> lane_delays, uint64_t seed,
+                           PacketSink* sink)
+    : loop_(loop), lane_delays_(std::move(lane_delays)), rng_(seed), sink_(sink) {
+  JUG_CHECK(!lane_delays_.empty());
+  lane_last_out_.resize(lane_delays_.size(), 0);
+}
+
+void ReorderStage::Accept(PacketPtr packet) {
+  ++packets_;
+  const size_t lane = static_cast<size_t>(rng_.NextBounded(lane_delays_.size()));
+  const TimeNs now = loop_->now();
+  TimeNs out = now + lane_delays_[lane];
+  if (out < lane_last_out_[lane]) {
+    out = lane_last_out_[lane];  // lanes are FIFOs
+  }
+  lane_last_out_[lane] = out;
+  PacketSink* sink = sink_;
+  Packet* raw = packet.release();
+  loop_->ScheduleAt(out, [sink, raw] { sink->Accept(PacketPtr(raw)); });
+}
+
+}  // namespace juggler

@@ -1,0 +1,64 @@
+// Inline pipeline stages: the NetFPGA-style reorder stage and a random-drop
+// stage, composable in front of any sink.
+
+#ifndef JUGGLER_SRC_NET_STAGES_H_
+#define JUGGLER_SRC_NET_STAGES_H_
+
+#include <vector>
+
+#include "src/net/packet_sink.h"
+#include "src/sim/event_loop.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace juggler {
+
+// Models the paper's NetFPGA-10G testbed switch (Figure 11): each inbound
+// packet is hashed uniformly at random to one of N internal lanes; lane i
+// adds a fixed delay. Order is preserved *within* a lane (each lane is a
+// FIFO), so the reordering a receiver sees is exactly the delay difference
+// across lanes — the paper's "Xµs reordering".
+class ReorderStage : public PacketSink {
+ public:
+  ReorderStage(EventLoop* loop, std::vector<TimeNs> lane_delays, uint64_t seed, PacketSink* sink);
+
+  void Accept(PacketPtr packet) override;
+
+  uint64_t packets_through() const { return packets_; }
+
+ private:
+  EventLoop* loop_;
+  std::vector<TimeNs> lane_delays_;
+  std::vector<TimeNs> lane_last_out_;  // FIFO guarantee per lane
+  Rng rng_;
+  PacketSink* sink_;
+  uint64_t packets_ = 0;
+};
+
+// Drops each packet independently with probability `drop_prob` (the 0.1%
+// loss injection of Figure 14).
+class DropStage : public PacketSink {
+ public:
+  DropStage(double drop_prob, uint64_t seed, PacketSink* sink)
+      : drop_prob_(drop_prob), rng_(seed), sink_(sink) {}
+
+  void Accept(PacketPtr packet) override {
+    if (rng_.NextBool(drop_prob_)) {
+      ++drops_;
+      return;
+    }
+    sink_->Accept(std::move(packet));
+  }
+
+  uint64_t drops() const { return drops_; }
+
+ private:
+  double drop_prob_;
+  Rng rng_;
+  PacketSink* sink_;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_NET_STAGES_H_

@@ -1,0 +1,51 @@
+#include "src/net/switch.h"
+
+#include <memory>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+void Switch::AddUplink(PacketSink* port, const Link* link) {
+  uplinks_.push_back(port);
+  uplink_links_.push_back(link);
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (char c : name_) {
+    seed = seed * 131 + static_cast<unsigned char>(c);
+  }
+  balancer_ = std::make_unique<LoadBalancer>(uplink_policy_, uplinks_.size(), seed);
+}
+
+void Switch::Accept(PacketPtr packet) {
+  auto it = routes_.find(packet->flow.dst_ip);
+  if (it != routes_.end()) {
+    ++forwarded_;
+    it->second->Accept(std::move(packet));
+    return;
+  }
+  if (!uplinks_.empty()) {
+    ++forwarded_;
+    size_t path;
+    if (uplink_policy_ == LbPolicy::kFlowlet) {
+      std::vector<int64_t> depths;
+      depths.reserve(uplink_links_.size());
+      bool have_probes = true;
+      for (const Link* link : uplink_links_) {
+        if (link == nullptr) {
+          have_probes = false;
+          break;
+        }
+        depths.push_back(link->queued_bytes());
+      }
+      path = balancer_->PickFlowletPath(*packet, have_probes ? depths : std::vector<int64_t>{});
+    } else {
+      path = balancer_->PickPath(*packet);
+    }
+    uplinks_[path]->Accept(std::move(packet));
+    return;
+  }
+  ++no_route_;
+  JUG_WARN("switch %s: no route for dst %u, dropping", name_.c_str(), packet->flow.dst_ip);
+}
+
+}  // namespace juggler

@@ -1,0 +1,52 @@
+// A store-and-forward switch: static routes by destination IP, plus an
+// optional default uplink group balanced by an LbPolicy. Output queueing is
+// delegated to the Link attached to each port, so congestion, buffer
+// build-up and drops happen where they do in a real switch.
+
+#ifndef JUGGLER_SRC_NET_SWITCH_H_
+#define JUGGLER_SRC_NET_SWITCH_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/load_balancer.h"
+#include "src/net/packet_sink.h"
+
+namespace juggler {
+
+class Switch : public PacketSink {
+ public:
+  Switch(std::string name, LbPolicy uplink_policy)
+      : name_(std::move(name)), uplink_policy_(uplink_policy) {}
+
+  // Exact-match route: packets to `dst_ip` exit through `port`.
+  void AddRoute(uint32_t dst_ip, PacketSink* port) { routes_[dst_ip] = port; }
+
+  // Default route: packets with no exact match are balanced across these.
+  // Pass `link` when the port is a Link so congestion-aware policies
+  // (flowlet) can read its queue occupancy.
+  void AddUplink(PacketSink* port, const Link* link = nullptr);
+
+  void Accept(PacketPtr packet) override;
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t dropped_no_route() const { return no_route_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  LbPolicy uplink_policy_;
+  std::unordered_map<uint32_t, PacketSink*> routes_;
+  std::vector<PacketSink*> uplinks_;
+  std::vector<const Link*> uplink_links_;  // nullable congestion probes
+  std::unique_ptr<LoadBalancer> balancer_;
+  uint64_t forwarded_ = 0;
+  uint64_t no_route_ = 0;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_NET_SWITCH_H_

@@ -1,0 +1,154 @@
+#include "src/nic/nic_rx.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+NicRx::NicRx(EventLoop* loop, const CpuCostModel* costs, const NicRxConfig& config,
+             const GroFactory& gro_factory, SegmentSink* sink)
+    : loop_(loop), costs_(costs), config_(config), sink_(sink) {
+  JUG_CHECK(config_.num_queues >= 1);
+  for (size_t i = 0; i < config_.num_queues; ++i) {
+    auto q = std::make_unique<RxQueue>(loop, i);
+    q->gro = gro_factory(costs);
+    RxQueue* raw = q.get();
+    GroEngine::Context ctx;
+    ctx.now = [loop] { return loop->now(); };
+    ctx.deliver = [raw](Segment s) { raw->pending_segments.push_back(std::move(s)); };
+    ctx.arm_timer = [this, raw](TimeNs when) {
+      loop_->Cancel(raw->gro_timer);
+      raw->gro_timer = kInvalidTimerId;
+      if (when == GroEngine::kNoTimer) {
+        return;
+      }
+      const TimeNs at = when > loop_->now() ? when : loop_->now();
+      raw->gro_timer = loop_->ScheduleAt(at, [this, raw] {
+        raw->gro_timer = kInvalidTimerId;
+        OnGroTimer(raw);
+      });
+    };
+    q->gro->set_context(std::move(ctx));
+    queues_.push_back(std::move(q));
+  }
+}
+
+NicRx::~NicRx() = default;
+
+void NicRx::Accept(PacketPtr packet) {
+  ++stats_.packets_in;
+  size_t index;
+  if (config_.force_queue >= 0) {
+    index = static_cast<size_t>(config_.force_queue) % queues_.size();
+  } else {
+    index = static_cast<size_t>(packet->flow.Hash() >> 17) % queues_.size();
+  }
+  RxQueue* q = queues_[index].get();
+  if (q->ring.size() >= config_.ring_capacity) {
+    ++stats_.ring_drops;
+    return;
+  }
+  packet->nic_rx_time = loop_->now();
+  q->ring.push_back(std::move(packet));
+  ScheduleInterrupt(q);
+}
+
+void NicRx::ScheduleInterrupt(RxQueue* q) {
+  if (q->polling || q->interrupt_pending) {
+    return;  // NAPI is (or will be) looking at the ring
+  }
+  q->interrupt_pending = true;
+  const TimeNs earliest = q->last_interrupt + config_.int_coalesce;
+  const TimeNs at = earliest > loop_->now() ? earliest : loop_->now();
+  loop_->ScheduleAt(at, [this, q] { FireInterrupt(q); });
+}
+
+void NicRx::FireInterrupt(RxQueue* q) {
+  ++stats_.interrupts;
+  q->last_interrupt = loop_->now();
+  q->interrupt_pending = false;
+  q->polling = true;
+  q->session_start = loop_->now();
+  StartPoll(q, /*session_entry=*/true);
+}
+
+void NicRx::StartPoll(RxQueue* q, bool session_entry) {
+  // Zero-cost job: DoPoll runs when the RX core drains its current backlog,
+  // so a saturated core naturally delays the poll and lets the ring grow.
+  q->core.Submit(0, [this, q, session_entry] { DoPoll(q, session_entry); });
+}
+
+void NicRx::DoPoll(RxQueue* q, bool session_entry) {
+  ++stats_.polls;
+  TimeNs cost = session_entry ? costs_->napi_poll_overhead : costs_->napi_repoll_overhead;
+  // One NAPI round: up to `napi_budget` packets through the engine, then the
+  // engine's poll-completion hook (GRO flush decisions / timeout checks) —
+  // "the kernel hands off packets to GRO, whose batching interval is the
+  // same as the driver's polling interval".
+  size_t work = 0;
+  while (!q->ring.empty() && work < config_.napi_budget) {
+    PacketPtr p = std::move(q->ring.front());
+    q->ring.pop_front();
+    cost += costs_->driver_per_packet;
+    cost += q->gro->Receive(std::move(p));
+    ++work;
+  }
+  cost += q->gro->PollComplete();
+  q->core.Submit(cost, [this, q] {
+    DeliverPending(q);
+    const bool time_capped = loop_->now() - q->session_start >= kMaxPollSession;
+    if (!q->ring.empty() && !time_capped) {
+      // Budget exhausted or more arrived while processing: stay in polling
+      // mode (softirq re-poll).
+      StartPoll(q, /*session_entry=*/false);
+      return;
+    }
+    EndSession(q);
+  });
+}
+
+void NicRx::EndSession(RxQueue* q) {
+  // napi_complete: leave polling mode and re-enable interrupts. Packets
+  // that arrived meanwhile raise a (moderated) interrupt — going straight
+  // back into polling here would defeat interrupt coalescing.
+  q->polling = false;
+  if (!q->ring.empty()) {
+    ScheduleInterrupt(q);
+  }
+}
+
+void NicRx::OnGroTimer(RxQueue* q) {
+  q->core.Submit(0, [this, q] {
+    const TimeNs cost = q->gro->OnTimer();
+    q->core.Submit(cost, [this, q] { DeliverPending(q); });
+  });
+}
+
+void NicRx::DeliverPending(RxQueue* q) {
+  for (auto& segment : q->pending_segments) {
+    sink_->OnSegment(std::move(segment));
+  }
+  q->pending_segments.clear();
+}
+
+GroStats NicRx::TotalGroStats() const {
+  GroStats total;
+  for (const auto& q : queues_) {
+    const GroStats& s = q->gro->stats();
+    total.packets_in += s.packets_in;
+    total.acks_in += s.acks_in;
+    total.data_packets_in += s.data_packets_in;
+    total.ooo_packets += s.ooo_packets;
+    total.segments_out += s.segments_out;
+    total.data_segments_out += s.data_segments_out;
+    total.mtus_out += s.mtus_out;
+    total.evictions += s.evictions;
+    for (int r = 0; r < static_cast<int>(FlushReason::kReasonCount); ++r) {
+      total.flush_by_reason[r] += s.flush_by_reason[r];
+    }
+  }
+  return total;
+}
+
+}  // namespace juggler

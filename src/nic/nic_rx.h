@@ -1,0 +1,124 @@
+// Receive-side NIC model: RSS steering, per-queue rings, interrupt
+// moderation, and the NAPI poll loop that feeds a GroEngine (Figure 2).
+//
+// Mechanisms that matter for the paper's results, all modelled explicitly:
+//
+//  * Interrupt moderation: interrupts are rate-limited to one per
+//    `int_coalesce_ns` per queue. At line rate this batches ~100 packets per
+//    interrupt (the "interrupt coalescing acts as an additional reordering
+//    buffer" effect behind the τ−τ₀ thresholds of Figs. 13/14); at low load
+//    the first packet fires immediately, so RPC latency is not inflated.
+//  * NAPI polling: an interrupt starts a poll; each poll drains the ring
+//    through the GRO engine and calls PollComplete(). If packets arrived
+//    while the RX core was busy processing, polling continues without a new
+//    interrupt — NAPI's polling mode under load.
+//  * CPU charging: driver + GRO costs are charged to the queue's RX core;
+//    merged segments reach the host only after that work completes, so RX
+//    core saturation delays delivery (and ring overflow drops packets).
+//  * GRO timers: the engine's high-resolution timer runs through the same
+//    RX-core path as polls.
+
+#ifndef JUGGLER_SRC_NIC_NIC_RX_H_
+#define JUGGLER_SRC_NIC_NIC_RX_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cpu/cost_model.h"
+#include "src/cpu/cpu_core.h"
+#include "src/gro/gro_engine.h"
+#include "src/net/packet_sink.h"
+#include "src/sim/event_loop.h"
+
+namespace juggler {
+
+// Receives merged segments from the NIC (still on the RX core clock); the
+// host implementation forwards them to the app core and TCP.
+class SegmentSink {
+ public:
+  virtual ~SegmentSink() = default;
+  virtual void OnSegment(Segment segment) = 0;
+};
+
+struct NicRxConfig {
+  size_t num_queues = 1;
+  // Minimum spacing between interrupts per queue (τ₀; 125µs in the paper's
+  // testbed, §5.2.1).
+  TimeNs int_coalesce = Us(125);
+  size_t ring_capacity = 4096;
+  // NAPI budget: packets per poll round. The engine's PollComplete (GRO
+  // flush / timeout checks) runs at the end of every round, as the kernel's
+  // polling loop does.
+  size_t napi_budget = 64;
+  // >= 0 forces all packets to one queue (the paper aims all flows at a
+  // single RX queue in the CPU experiments); -1 uses RSS hashing.
+  int force_queue = -1;
+};
+
+struct NicRxStats {
+  uint64_t packets_in = 0;
+  uint64_t ring_drops = 0;
+  uint64_t interrupts = 0;
+  uint64_t polls = 0;
+};
+
+class NicRx : public PacketSink {
+ public:
+  using GroFactory = std::function<std::unique_ptr<GroEngine>(const CpuCostModel*)>;
+
+  // NAPI stays in polling mode at most this long before completing the
+  // session ("up to a brief interval of time (at most 2 milliseconds)").
+  static constexpr TimeNs kMaxPollSession = Ms(2);
+
+  NicRx(EventLoop* loop, const CpuCostModel* costs, const NicRxConfig& config,
+        const GroFactory& gro_factory, SegmentSink* sink);
+  ~NicRx() override;
+
+  // Packet arriving from the wire.
+  void Accept(PacketPtr packet) override;
+
+  size_t num_queues() const { return queues_.size(); }
+  CpuCore* rx_core(size_t q) { return &queues_[q]->core; }
+  GroEngine* gro(size_t q) { return queues_[q]->gro.get(); }
+  const NicRxStats& stats() const { return stats_; }
+
+  // Sum of GRO stats across queues.
+  GroStats TotalGroStats() const;
+
+ private:
+  struct RxQueue {
+    size_t index;
+    std::deque<PacketPtr> ring;
+    std::unique_ptr<GroEngine> gro;
+    CpuCore core;
+    std::vector<Segment> pending_segments;  // collected during a GRO call
+    TimeNs last_interrupt = -(1LL << 60);   // long ago: first packet fires now
+    TimeNs session_start = 0;               // start of the current polling session
+    bool interrupt_pending = false;
+    bool polling = false;
+    TimerId gro_timer = kInvalidTimerId;
+
+    RxQueue(EventLoop* loop, size_t i)
+        : index(i), core(loop, "rx_core_" + std::to_string(i)) {}
+  };
+
+  void ScheduleInterrupt(RxQueue* q);
+  void FireInterrupt(RxQueue* q);
+  void StartPoll(RxQueue* q, bool session_entry);
+  void DoPoll(RxQueue* q, bool session_entry);
+  void EndSession(RxQueue* q);
+  void OnGroTimer(RxQueue* q);
+  void DeliverPending(RxQueue* q);
+
+  EventLoop* loop_;
+  const CpuCostModel* costs_;
+  NicRxConfig config_;
+  SegmentSink* sink_;
+  std::vector<std::unique_ptr<RxQueue>> queues_;
+  NicRxStats stats_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_NIC_NIC_RX_H_

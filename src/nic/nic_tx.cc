@@ -1,0 +1,69 @@
+#include "src/nic/nic_tx.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+void NicTx::SendBurst(const TsoBurst& burst) {
+  JUG_CHECK(burst.len > 0 && burst.len <= kMaxTsoPayload);
+  ++stats_.bursts;
+  const uint64_t tso_id = next_tso_id_++;
+  uint32_t sent = 0;
+  while (sent < burst.len) {
+    const uint32_t chunk = std::min<uint32_t>(kMss, burst.len - sent);
+    PacketPtr p = factory_->Make();
+    p->flow = burst.flow;
+    p->seq = burst.seq + sent;
+    p->payload_len = chunk;
+    p->ack_seq = burst.ack_seq;
+    p->ack_rwnd = burst.ack_rwnd;
+    p->options_token = burst.options_token;
+    p->tso_id = tso_id;
+    p->sent_time = loop_->now();
+    sent += chunk;
+    // Flags like PSH apply to the last packet of the burst; ACK to all.
+    p->flags = (sent == burst.len) ? burst.flags : static_cast<uint8_t>(burst.flags & kFlagAck);
+    p->priority = burst.marker != nullptr && *burst.marker ? (*burst.marker)() : Priority::kLow;
+    ++stats_.packets;
+    stats_.bytes += chunk;
+    Transmit(std::move(p));
+  }
+}
+
+void NicTx::SendAck(const FiveTuple& flow, Seq seq, Seq ack_seq, uint32_t rwnd,
+                    Priority priority, const SackBlocks& sack, bool ece) {
+  PacketPtr p = factory_->Make();
+  p->flow = flow;
+  p->seq = seq;
+  p->payload_len = 0;
+  p->flags = kFlagAck;
+  p->ack_seq = ack_seq;
+  p->ack_rwnd = rwnd;
+  p->sack = sack;
+  p->ece = ece;
+  p->priority = priority;
+  p->sent_time = loop_->now();
+  ++stats_.acks;
+  Transmit(std::move(p));
+}
+
+void NicTx::Transmit(PacketPtr packet) {
+  if (config_.rate_limit_bps <= 0) {
+    wire_->Accept(std::move(packet));
+    return;
+  }
+  const TimeNs now = loop_->now();
+  const TimeNs release = next_free_ > now ? next_free_ : now;
+  next_free_ = release + SerializationTime(packet->wire_bytes(), config_.rate_limit_bps);
+  if (release <= now) {
+    wire_->Accept(std::move(packet));
+    return;
+  }
+  PacketSink* wire = wire_;
+  Packet* raw = packet.release();
+  loop_->ScheduleAt(release, [wire, raw] { wire->Accept(PacketPtr(raw)); });
+}
+
+}  // namespace juggler

@@ -1,0 +1,74 @@
+// Transmit-side NIC model: TSO segmentation, optional rate limiting, and
+// per-packet priority marking.
+//
+// The transport hands the NIC whole TSO bursts (up to 64KB — the unit
+// Presto load-balances, and the unit whose on-wire time sets the
+// inseq_timeout rule of thumb in §5.2.1). The NIC cuts a burst into MTU
+// packets, stamps each with the burst's tso_id (so per-TSO load balancers
+// can keep flowcells together) and asks the optional marker for a priority
+// per packet (the probabilistic marking of §2.1).
+
+#ifndef JUGGLER_SRC_NIC_NIC_TX_H_
+#define JUGGLER_SRC_NIC_NIC_TX_H_
+
+#include <functional>
+
+#include "src/net/packet_sink.h"
+#include "src/sim/event_loop.h"
+
+namespace juggler {
+
+struct TsoBurst {
+  FiveTuple flow;
+  Seq seq = 0;
+  uint32_t len = 0;  // payload bytes, <= kMaxTsoPayload
+  uint8_t flags = kFlagAck;
+  Seq ack_seq = 0;
+  uint32_t ack_rwnd = 0;
+  uint32_t options_token = 0;
+  // Per-packet priority decision; null means Priority::kLow.
+  const std::function<Priority()>* marker = nullptr;
+};
+
+struct NicTxConfig {
+  // Leaky-bucket cap on this NIC's transmit rate; 0 disables (the wire link
+  // still serializes at its own rate).
+  int64_t rate_limit_bps = 0;
+};
+
+struct NicTxStats {
+  uint64_t bursts = 0;
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  uint64_t acks = 0;
+};
+
+class NicTx {
+ public:
+  NicTx(EventLoop* loop, PacketFactory* factory, const NicTxConfig& config, PacketSink* wire)
+      : loop_(loop), factory_(factory), config_(config), wire_(wire) {}
+
+  // Segment `burst` into MTU packets and transmit them back-to-back.
+  void SendBurst(const TsoBurst& burst);
+
+  // Transmit one pure ACK (with optional SACK blocks and ECN echo).
+  void SendAck(const FiveTuple& flow, Seq seq, Seq ack_seq, uint32_t rwnd, Priority priority,
+               const SackBlocks& sack = {}, bool ece = false);
+
+  const NicTxStats& stats() const { return stats_; }
+
+ private:
+  void Transmit(PacketPtr packet);
+
+  EventLoop* loop_;
+  PacketFactory* factory_;
+  NicTxConfig config_;
+  PacketSink* wire_;
+  TimeNs next_free_ = 0;  // leaky-bucket state
+  uint64_t next_tso_id_ = 1;
+  NicTxStats stats_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_NIC_NIC_TX_H_

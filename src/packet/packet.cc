@@ -1,0 +1,11 @@
+#include "src/packet/packet.h"
+
+// Packet and Segment are header-only value types; this translation unit
+// exists to anchor the jug_packet library.
+
+namespace juggler {
+
+static_assert(kMss + kPerPacketWireOverhead > kMtuBytes,
+              "wire frame must cover the MTU plus framing overhead");
+
+}  // namespace juggler

@@ -1,0 +1,164 @@
+// Packet and segment representations.
+//
+// Packets are metadata-only: the simulator never materialises payload bytes,
+// it tracks (sequence, length) ranges exactly as GRO and TCP reason about
+// them. A Packet models one wire MTU (or a pure ACK); a Segment models the
+// sk_buff handed up the stack by GRO — one contiguous byte range plus the
+// count of MTUs merged into it (the frags[] array of Figure 3).
+
+#ifndef JUGGLER_SRC_PACKET_PACKET_H_
+#define JUGGLER_SRC_PACKET_PACKET_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/util/seq.h"
+#include "src/util/time.h"
+
+namespace juggler {
+
+// Wire constants. An MTU-sized frame carries kMss payload bytes; every frame
+// additionally occupies kPerPacketWireOverhead bytes of link time (Ethernet
+// header + CRC + preamble + inter-frame gap + IP/TCP headers).
+inline constexpr uint32_t kMtuBytes = 1500;
+inline constexpr uint32_t kMss = 1448;
+inline constexpr uint32_t kPerPacketWireOverhead = 90;
+
+// Maximum TSO burst / GRO merge size: 45 MTUs' worth of payload ("64KB").
+inline constexpr uint32_t kMaxTsoPayload = 45 * kMss;
+
+enum class Priority : uint8_t {
+  kHigh = 0,
+  kLow = 1,
+};
+
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = 6;  // TCP
+
+  bool operator==(const FiveTuple&) const = default;
+
+  // The reverse direction (for ACKs and server->client traffic).
+  FiveTuple Reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  uint64_t Hash() const {
+    // Mix the fields through a 64-bit finalizer; used for RSS and ECMP.
+    uint64_t h = (static_cast<uint64_t>(src_ip) << 32) | dst_ip;
+    h ^= (static_cast<uint64_t>(src_port) << 48) | (static_cast<uint64_t>(dst_port) << 32) |
+         protocol;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+  }
+};
+
+struct FiveTupleHash {
+  size_t operator()(const FiveTuple& t) const { return static_cast<size_t>(t.Hash()); }
+};
+
+// TCP flag bits relevant to GRO flush decisions (Table 2 of the paper).
+enum TcpFlag : uint8_t {
+  kFlagAck = 1 << 0,
+  kFlagPsh = 1 << 1,
+  kFlagUrg = 1 << 2,
+  kFlagSyn = 1 << 3,
+  kFlagFin = 1 << 4,
+};
+
+// SACK option carried on ACKs: up to 3 [start, end) blocks of received but
+// not-yet-cumulatively-acked data.
+struct SackBlocks {
+  uint8_t count = 0;
+  Seq start[3] = {};
+  Seq end[3] = {};
+
+  void Add(Seq s, Seq e) {
+    if (count < 3) {
+      start[count] = s;
+      end[count] = e;
+      ++count;
+    }
+  }
+};
+
+struct Packet {
+  uint64_t id = 0;  // globally unique, for tracing
+  FiveTuple flow;
+
+  Seq seq = 0;               // first payload byte
+  uint32_t payload_len = 0;  // 0 for a pure ACK
+  uint8_t flags = 0;
+  Seq ack_seq = 0;        // cumulative ACK carried (valid when kFlagAck set)
+  uint32_t ack_rwnd = 0;  // advertised receive window on ACKs
+  SackBlocks sack;        // SACK option (pure ACKs)
+  bool ece = false;       // ECN echo on ACKs (DCTCP feedback)
+
+  // Mergeability metadata: GRO only merges packets whose options token and
+  // CE mark match (Table 2: "differs in TCP options, CE marks, etc").
+  uint32_t options_token = 0;
+  bool ce_mark = false;
+
+  Priority priority = Priority::kLow;
+
+  // Per-TSO load balancing (Presto-style flowcells): all MTUs cut from one
+  // TSO burst share a tso_id and hash to the same path.
+  uint64_t tso_id = 0;
+
+  TimeNs sent_time = 0;    // left the sender's TCP
+  TimeNs nic_rx_time = 0;  // arrived at the receiving NIC ring
+
+  bool is_pure_ack() const { return payload_len == 0 && (flags & kFlagAck) != 0; }
+  Seq end_seq() const { return seq + payload_len; }
+  uint32_t wire_bytes() const { return payload_len + kPerPacketWireOverhead; }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+// Allocates packets with unique ids. One factory per experiment keeps id
+// assignment deterministic.
+class PacketFactory {
+ public:
+  PacketPtr Make() {
+    auto p = std::make_unique<Packet>();
+    p->id = next_id_++;
+    return p;
+  }
+
+  uint64_t allocated() const { return next_id_; }
+
+ private:
+  uint64_t next_id_ = 0;
+};
+
+// The unit GRO delivers up the stack: one contiguous in-order byte range
+// assembled from `mtu_count` wire packets, plus the metadata TCP needs.
+struct Segment {
+  FiveTuple flow;
+  Seq seq = 0;
+  uint32_t payload_len = 0;
+  uint32_t mtu_count = 0;
+  uint8_t flags = 0;
+  Seq ack_seq = 0;
+  uint32_t ack_rwnd = 0;
+  SackBlocks sack;
+  bool ece = false;
+  bool ce_mark = false;
+  TimeNs first_rx_time = 0;  // earliest constituent packet arrival
+  TimeNs last_rx_time = 0;   // latest constituent packet arrival
+  TimeNs sent_time = 0;      // sent_time of the first constituent packet
+
+  Seq end_seq() const { return seq + payload_len; }
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_PACKET_PACKET_H_

@@ -1,0 +1,40 @@
+#include "src/qos/priority_controller.h"
+
+#include <algorithm>
+
+namespace juggler {
+
+PriorityController::PriorityController(EventLoop* loop, const PriorityControllerConfig& config,
+                                       TcpEndpoint* connection)
+    : loop_(loop), config_(config), connection_(connection), rng_(config.seed) {}
+
+void PriorityController::Start() {
+  running_ = true;
+  last_bytes_acked_ = connection_->bytes_acked();
+  connection_->set_priority_marker([this] { return Mark(); });
+  loop_->Schedule(config_.update_period, [this] { Update(); });
+}
+
+void PriorityController::Update() {
+  if (!running_) {
+    return;
+  }
+  const uint64_t acked = connection_->bytes_acked();
+  const double sample_bps =
+      RateBps(static_cast<int64_t>(acked - last_bytes_acked_), config_.update_period);
+  last_bytes_acked_ = acked;
+  // Smooth the per-period sample: ACK arrivals are bursty at sub-RTT scale.
+  rate_estimate_bps_ =
+      (1.0 - config_.ewma_alpha) * rate_estimate_bps_ + config_.ewma_alpha * sample_bps;
+  const double rt = static_cast<double>(config_.target_rate_bps) /
+                    static_cast<double>(config_.line_rate_bps);
+  const double rm = rate_estimate_bps_ / static_cast<double>(config_.line_rate_bps);
+  p_ = std::clamp(p_ + config_.alpha * (rt - rm), 0.0, 1.0);
+  loop_->Schedule(config_.update_period, [this] { Update(); });
+}
+
+Priority PriorityController::Mark() {
+  return rng_.NextBool(p_) ? Priority::kHigh : Priority::kLow;
+}
+
+}  // namespace juggler

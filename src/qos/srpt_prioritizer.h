@@ -1,0 +1,36 @@
+// pFabric-style dynamic prioritization (§2.1): raise a flow's network
+// priority as it nears completion, approximating Shortest Remaining
+// Processing Time scheduling with the two priority levels our switches
+// offer. Like the bandwidth-guarantee controller, this deliberately changes
+// a flow's priority mid-stream — mixing queueing delays and reordering its
+// packets — which is exactly the flexibility Juggler exists to make safe.
+
+#ifndef JUGGLER_SRC_QOS_SRPT_PRIORITIZER_H_
+#define JUGGLER_SRC_QOS_SRPT_PRIORITIZER_H_
+
+#include "src/tcp/tcp_endpoint.h"
+
+namespace juggler {
+
+class SrptPrioritizer {
+ public:
+  // Packets go out high-priority once the connection's remaining backlog
+  // drops below `threshold_bytes` — short flows (and the tails of long
+  // flows) jump the queues.
+  SrptPrioritizer(TcpEndpoint* connection, uint64_t threshold_bytes)
+      : connection_(connection), threshold_bytes_(threshold_bytes) {
+    connection_->set_priority_marker([this] { return Mark(); });
+  }
+
+  Priority Mark() const {
+    return connection_->backlog_bytes() < threshold_bytes_ ? Priority::kHigh : Priority::kLow;
+  }
+
+ private:
+  TcpEndpoint* connection_;
+  uint64_t threshold_bytes_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_QOS_SRPT_PRIORITIZER_H_

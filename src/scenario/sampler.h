@@ -1,0 +1,42 @@
+// Periodic sampling helper: runs a callback every `period` until the event
+// queue drains or `stop_time` passes. Used to sample Juggler's active-list
+// length (Figs. 15/16), queue occupancies, and CPU meters.
+
+#ifndef JUGGLER_SRC_SCENARIO_SAMPLER_H_
+#define JUGGLER_SRC_SCENARIO_SAMPLER_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/sim/event_loop.h"
+
+namespace juggler {
+
+class PeriodicTask {
+ public:
+  PeriodicTask(EventLoop* loop, TimeNs period, TimeNs stop_time, std::function<void()> fn)
+      : loop_(loop), period_(period), stop_time_(stop_time), fn_(std::move(fn)) {
+    Arm();
+  }
+
+ private:
+  void Arm() {
+    const TimeNs next = loop_->now() + period_;
+    if (next > stop_time_) {
+      return;
+    }
+    loop_->ScheduleAt(next, [this] {
+      fn_();
+      Arm();
+    });
+  }
+
+  EventLoop* loop_;
+  TimeNs period_;
+  TimeNs stop_time_;
+  std::function<void()> fn_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_SCENARIO_SAMPLER_H_

@@ -1,0 +1,74 @@
+#include "src/sim/event_loop.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+TimerId EventLoop::ScheduleAt(TimeNs when, Callback cb) {
+  JUG_CHECK(when >= now_);
+  const TimerId id = next_id_++;
+  queue_.push(Event{when, next_order_++, id, std::move(cb)});
+  cancelled_capable_ids_.insert(id);
+  return id;
+}
+
+void EventLoop::Cancel(TimerId id) {
+  if (id == kInvalidTimerId) {
+    return;
+  }
+  cancelled_capable_ids_.erase(id);
+}
+
+bool EventLoop::RunOne(TimeNs deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) {
+      return false;
+    }
+    // Lazily skip cancelled events.
+    if (!cancelled_capable_ids_.contains(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    JUG_CHECK(top.when >= now_);
+    now_ = top.when;
+    cancelled_capable_ids_.erase(top.id);
+    // Move the callback out before popping; the callback may schedule more
+    // events (mutating the queue) so it must not run while `top` is aliased.
+    Callback cb = std::move(const_cast<Event&>(top).cb);
+    queue_.pop();
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::Run() {
+  stopped_ = false;
+  while (!stopped_ && RunOne(std::numeric_limits<TimeNs>::max())) {
+  }
+}
+
+void EventLoop::RunUntil(TimeNs deadline) {
+  stopped_ = false;
+  while (!stopped_ && RunOne(deadline)) {
+  }
+  if (now_ < deadline && !stopped_) {
+    now_ = deadline;
+  }
+}
+
+uint64_t EventLoop::RunSteps(uint64_t max_events) {
+  stopped_ = false;
+  uint64_t ran = 0;
+  while (ran < max_events && !stopped_ && RunOne(std::numeric_limits<TimeNs>::max())) {
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace juggler

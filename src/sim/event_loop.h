@@ -1,0 +1,97 @@
+// Discrete-event simulation core.
+//
+// A single EventLoop drives an experiment: components schedule callbacks at
+// absolute or relative times; Run() executes them in time order. Two events
+// at the same timestamp fire in scheduling order (a monotonically increasing
+// tie-break id), which makes every experiment deterministic.
+//
+// Timers are cancellable: Schedule() returns a TimerId and Cancel() marks the
+// entry dead (lazy deletion — the heap entry is discarded when popped).
+
+#ifndef JUGGLER_SRC_SIM_EVENT_LOOP_H_
+#define JUGGLER_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace juggler {
+
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimerId = 0;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedule `cb` to run `delay` (>= 0) after the current time.
+  TimerId Schedule(TimeNs delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Schedule `cb` at absolute time `when` (>= now()).
+  TimerId ScheduleAt(TimeNs when, Callback cb);
+
+  // Cancel a pending timer. Cancelling an already-fired or invalid id is a
+  // no-op, which keeps call sites simple ("cancel whatever might be armed").
+  void Cancel(TimerId id);
+
+  bool IsPending(TimerId id) const { return cancelled_capable_ids_.contains(id); }
+
+  // Run until the event queue drains.
+  void Run();
+
+  // Run events with time <= `deadline`; afterwards now() == deadline even if
+  // the queue drained early, so rate computations use the full window.
+  void RunUntil(TimeNs deadline);
+
+  // Run at most `max_events` events (testing aid). Returns events executed.
+  uint64_t RunSteps(uint64_t max_events);
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+  // Request that Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t order;  // tie-break: FIFO among equal timestamps
+    TimerId id;
+    Callback cb;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.order > b.order;
+    }
+  };
+
+  // Pops and runs one event; returns false when the queue is empty or the
+  // next event is after `deadline`.
+  bool RunOne(TimeNs deadline);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<TimerId> cancelled_capable_ids_;  // ids still pending
+  TimeNs now_ = 0;
+  uint64_t next_order_ = 0;
+  TimerId next_id_ = 1;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_SIM_EVENT_LOOP_H_

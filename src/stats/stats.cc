@@ -1,0 +1,149 @@
+#include "src/stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+PercentileSampler::PercentileSampler(size_t max_samples)
+    : max_samples_(max_samples), rng_state_(0x9e3779b97f4a7c15ULL) {
+  JUG_CHECK(max_samples_ > 0);
+}
+
+void PercentileSampler::Add(double value) {
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  dirty_ = true;
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(value);
+    return;
+  }
+  // Uniform reservoir: keep each of the `count_` samples with equal chance.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const uint64_t slot = rng_state_ % count_;
+  if (slot < samples_.size()) {
+    samples_[slot] = value;
+  }
+}
+
+double PercentileSampler::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double PercentileSampler::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double PercentileSampler::StdDev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double PercentileSampler::Min() const { return count_ == 0 ? 0.0 : min_; }
+double PercentileSampler::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+void PercentileSampler::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  dirty_ = true;
+  count_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  JUG_CHECK(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double value) {
+  double idx = (value - lo_) / width_;
+  if (idx < 0.0) {
+    idx = 0.0;
+  }
+  size_t bin = static_cast<size_t>(idx);
+  if (bin >= counts_.size()) {
+    bin = counts_.size() - 1;
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::CdfAt(double x) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  uint64_t below = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_lo(i) + width_ <= x + 1e-12) {
+      below += counts_[i];
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "  [%8.2f, %8.2f): %lu\n", bin_lo(i), bin_lo(i) + width_,
+                  static_cast<unsigned long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+TimeSeries::TimeSeries(TimeNs start, TimeNs bin_width, size_t bins)
+    : start_(start), bin_width_(bin_width), sums_(bins, 0.0) {
+  JUG_CHECK(bin_width > 0 && bins > 0);
+}
+
+void TimeSeries::Add(TimeNs when, double value) {
+  if (when < start_) {
+    return;
+  }
+  const size_t bin = static_cast<size_t>((when - start_) / bin_width_);
+  if (bin < sums_.size()) {
+    sums_[bin] += value;
+  }
+}
+
+double TimeSeries::bin_rate(size_t i) const {
+  return sums_[i] / (static_cast<double>(bin_width_) / kNsPerSec);
+}
+
+}  // namespace juggler

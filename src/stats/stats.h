@@ -1,0 +1,100 @@
+// Measurement utilities: percentile samplers, histograms, binned time
+// series. Everything the benches print flows through these so the output
+// format is uniform across experiments.
+
+#ifndef JUGGLER_SRC_STATS_STATS_H_
+#define JUGGLER_SRC_STATS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace juggler {
+
+// Collects raw samples and answers percentile queries. If more than
+// `max_samples` arrive, switches to uniform reservoir sampling so memory
+// stays bounded on long runs.
+class PercentileSampler {
+ public:
+  explicit PercentileSampler(size_t max_samples = 1 << 20);
+
+  void Add(double value);
+
+  // p in [0, 100]. Linear interpolation between order statistics.
+  // Returns 0 when empty.
+  double Percentile(double p) const;
+
+  double Mean() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  void Clear();
+
+ private:
+  size_t max_samples_;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // cache; rebuilt when dirty
+  mutable bool dirty_ = true;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t rng_state_;  // for reservoir replacement
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the edge
+// bins. Used for active-list length distributions (Fig. 16).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  size_t bins() const { return counts_.size(); }
+  double bin_lo(size_t i) const;
+  uint64_t total() const { return total_; }
+
+  // Fraction of samples with value <= x.
+  double CdfAt(double x) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Accumulates a value (e.g., bytes delivered) into fixed time bins; reports a
+// rate series. Used for the Figure 1 throughput-vs-time plots.
+class TimeSeries {
+ public:
+  TimeSeries(TimeNs start, TimeNs bin_width, size_t bins);
+
+  void Add(TimeNs when, double value);
+
+  size_t bins() const { return sums_.size(); }
+  TimeNs bin_start(size_t i) const { return start_ + static_cast<TimeNs>(i) * bin_width_; }
+  double bin_sum(size_t i) const { return sums_[i]; }
+
+  // Bin sum divided by bin width in seconds — e.g., bytes -> bytes/sec.
+  double bin_rate(size_t i) const;
+
+ private:
+  TimeNs start_;
+  TimeNs bin_width_;
+  std::vector<double> sums_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_STATS_STATS_H_

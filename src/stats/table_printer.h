@@ -1,0 +1,35 @@
+// Aligned plain-text table output for the bench harnesses. Every figure
+// reproduction prints through this so the series the paper plots appear as
+// readable, diffable rows.
+
+#ifndef JUGGLER_SRC_STATS_TABLE_PRINTER_H_
+#define JUGGLER_SRC_STATS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace juggler {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  // Renders the table with a header rule, column-aligned.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_STATS_TABLE_PRINTER_H_

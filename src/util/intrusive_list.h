@@ -1,0 +1,120 @@
+// Minimal intrusive doubly-linked list.
+//
+// Juggler's gro_table threads each flow entry through exactly one of three
+// lists (active / inactive / loss-recovery) and moves entries between them on
+// nearly every packet, so membership changes must be O(1) with no allocation.
+// The element embeds an IntrusiveListNode and may be on at most one
+// IntrusiveList at a time; the node knows whether it is linked, which lets
+// callers assert the paper's "a flow is in exactly one list" invariant.
+//
+// The list does not own its elements; lifetime is managed by the container
+// that allocated them (GroTable owns FlowEntry objects).
+
+#ifndef JUGGLER_SRC_UTIL_INTRUSIVE_LIST_H_
+#define JUGGLER_SRC_UTIL_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace juggler {
+
+struct IntrusiveListNode {
+  IntrusiveListNode* prev = nullptr;
+  IntrusiveListNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+// T must expose a public `IntrusiveListNode list_node;` member named by Hook.
+template <typename T, IntrusiveListNode T::* Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+  size_t size() const { return size_; }
+
+  void PushBack(T* item) { InsertBefore(&sentinel_, item); }
+  void PushFront(T* item) { InsertBefore(sentinel_.next, item); }
+
+  T* front() const { return empty() ? nullptr : FromNode(sentinel_.next); }
+  T* back() const { return empty() ? nullptr : FromNode(sentinel_.prev); }
+
+  // Unlinks and returns the first element, or nullptr when empty.
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* item = front();
+    Remove(item);
+    return item;
+  }
+
+  void Remove(T* item) {
+    IntrusiveListNode* node = &(item->*Hook);
+    assert(node->linked());
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->prev = nullptr;
+    node->next = nullptr;
+    --size_;
+  }
+
+  static bool IsLinked(const T* item) { return (item->*Hook).linked(); }
+
+  // Forward iteration; safe against removal of the *current* element only if
+  // the caller advances first (use the NextOf helper for removal loops).
+  class Iterator {
+   public:
+    explicit Iterator(IntrusiveListNode* node) : node_(node) {}
+    T* operator*() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    IntrusiveListNode* node_;
+  };
+
+  Iterator begin() { return Iterator(sentinel_.next); }
+  Iterator end() { return Iterator(&sentinel_); }
+
+  // The element after `item`, or nullptr at the tail. Lets callers iterate
+  // while unlinking elements.
+  T* NextOf(T* item) const {
+    IntrusiveListNode* node = (item->*Hook).next;
+    return node == &sentinel_ ? nullptr : FromNode(node);
+  }
+
+ private:
+  static T* FromNode(IntrusiveListNode* node) {
+    // Recover the enclosing object from its embedded hook.
+    const auto offset = reinterpret_cast<size_t>(&(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+  }
+
+  void InsertBefore(IntrusiveListNode* pos, T* item) {
+    IntrusiveListNode* node = &(item->*Hook);
+    assert(!node->linked());
+    node->prev = pos->prev;
+    node->next = pos;
+    pos->prev->next = node;
+    pos->prev = node;
+    ++size_;
+  }
+
+  IntrusiveListNode sentinel_;
+  size_t size_ = 0;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_UTIL_INTRUSIVE_LIST_H_

@@ -1,0 +1,14 @@
+#include "src/util/logging.h"
+
+namespace juggler {
+namespace {
+
+LogLevel g_log_level = LogLevel::kWarn;
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level; }
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+
+}  // namespace juggler

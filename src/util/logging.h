@@ -1,0 +1,52 @@
+// Lightweight leveled logging and check macros.
+//
+// Logging is off by default (benches print their own tables); tests and
+// debugging sessions raise the level. JUG_CHECK is always on — simulator
+// invariant violations should abort loudly rather than corrupt results.
+
+#ifndef JUGGLER_SRC_UTIL_LOGGING_H_
+#define JUGGLER_SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace juggler {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+// Global threshold; messages above it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace juggler
+
+#define JUG_LOG(level, ...)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) <=                                   \
+        static_cast<int>(::juggler::GetLogLevel())) {                \
+      std::fprintf(stderr, "[%s:%d] ", __FILE__, __LINE__);          \
+      std::fprintf(stderr, __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n");                                    \
+    }                                                                \
+  } while (0)
+
+#define JUG_ERROR(...) JUG_LOG(::juggler::LogLevel::kError, __VA_ARGS__)
+#define JUG_WARN(...) JUG_LOG(::juggler::LogLevel::kWarn, __VA_ARGS__)
+#define JUG_INFO(...) JUG_LOG(::juggler::LogLevel::kInfo, __VA_ARGS__)
+#define JUG_DEBUG(...) JUG_LOG(::juggler::LogLevel::kDebug, __VA_ARGS__)
+
+#define JUG_CHECK(cond)                                                       \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "JUG_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // JUGGLER_SRC_UTIL_LOGGING_H_

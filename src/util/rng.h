@@ -1,0 +1,48 @@
+// Deterministic random number generation.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so whole
+// experiments are reproducible run-to-run. The generator is xoshiro256**,
+// seeded through SplitMix64 — fast, high quality, and trivially forkable so
+// independent components can own independent streams.
+
+#ifndef JUGGLER_SRC_UTIL_RNG_H_
+#define JUGGLER_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace juggler {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Exponential with the given mean (> 0). Used for Poisson arrivals.
+  double NextExponential(double mean);
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  // A new, statistically independent generator derived from this one.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_UTIL_RNG_H_

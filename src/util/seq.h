@@ -1,0 +1,42 @@
+// Wrap-safe 32-bit sequence-number arithmetic, in the style of the Linux
+// kernel's before()/after() macros. TCP sequence numbers live in a modular
+// 2^32 space; a plain `<` misbehaves once a connection transfers more than
+// 4GB. All sequence comparisons in Juggler and in the TCP substrate must go
+// through these helpers.
+
+#ifndef JUGGLER_SRC_UTIL_SEQ_H_
+#define JUGGLER_SRC_UTIL_SEQ_H_
+
+#include <cstdint>
+
+namespace juggler {
+
+using Seq = uint32_t;
+
+// True iff `a` is strictly before `b` in modular space. Valid as long as the
+// two values are within 2^31 of each other, which holds for any window that
+// fits in half the sequence space.
+constexpr bool SeqBefore(Seq a, Seq b) { return static_cast<int32_t>(a - b) < 0; }
+
+constexpr bool SeqAfter(Seq a, Seq b) { return SeqBefore(b, a); }
+
+constexpr bool SeqBeforeEq(Seq a, Seq b) { return !SeqAfter(a, b); }
+
+constexpr bool SeqAfterEq(Seq a, Seq b) { return !SeqBefore(a, b); }
+
+// Modular distance from `from` to `to`; meaningful when `to` is not before
+// `from` by more than 2^31.
+constexpr int32_t SeqDelta(Seq from, Seq to) { return static_cast<int32_t>(to - from); }
+
+constexpr Seq SeqMax(Seq a, Seq b) { return SeqAfter(a, b) ? a : b; }
+
+constexpr Seq SeqMin(Seq a, Seq b) { return SeqBefore(a, b) ? a : b; }
+
+// True iff seq lies in the half-open interval [lo, hi) in modular space.
+constexpr bool SeqInRange(Seq seq, Seq lo, Seq hi) {
+  return SeqAfterEq(seq, lo) && SeqBefore(seq, hi);
+}
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_UTIL_SEQ_H_

@@ -1,0 +1,132 @@
+// A set of disjoint, sorted, wrap-safe [start, end) sequence ranges.
+//
+// Used on both sides of TCP: the receiver's out-of-order reassembly buffer
+// (and the SACK blocks it advertises) and the sender's SACK scoreboard.
+// All ranges must lie within half the sequence space of each other, which
+// any window-limited TCP guarantees.
+
+#ifndef JUGGLER_SRC_UTIL_SEQ_RANGE_SET_H_
+#define JUGGLER_SRC_UTIL_SEQ_RANGE_SET_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/seq.h"
+
+namespace juggler {
+
+class SeqRangeSet {
+ public:
+  using Range = std::pair<Seq, Seq>;  // [start, end)
+
+  // Insert [start, end), merging with overlapping/adjacent ranges.
+  void Insert(Seq start, Seq end) {
+    if (!SeqBefore(start, end)) {
+      return;
+    }
+    auto it = ranges_.begin();
+    while (it != ranges_.end() && SeqBefore(it->second, start)) {
+      ++it;
+    }
+    while (it != ranges_.end() && SeqBeforeEq(it->first, end)) {
+      start = SeqMin(start, it->first);
+      end = SeqMax(end, it->second);
+      it = ranges_.erase(it);
+    }
+    ranges_.insert(it, Range{start, end});
+  }
+
+  // Remove everything strictly before `floor` (clipping a straddling range).
+  void ClipBelow(Seq floor) {
+    auto it = ranges_.begin();
+    while (it != ranges_.end()) {
+      if (SeqBeforeEq(it->second, floor)) {
+        it = ranges_.erase(it);
+        continue;
+      }
+      if (SeqBefore(it->first, floor)) {
+        it->first = floor;
+      }
+      return;  // sorted: the rest is at or past floor
+    }
+  }
+
+  bool Covers(Seq seq) const {
+    for (const Range& r : ranges_) {
+      if (SeqInRange(seq, r.first, r.second)) {
+        return true;
+      }
+      if (SeqBefore(seq, r.first)) {
+        break;
+      }
+    }
+    return false;
+  }
+
+  // The first uncovered gap at or after `from` that is followed by covered
+  // data (i.e., a hole a SACK sender should retransmit). Returns false when
+  // `from` is past all ranges.
+  bool NextHole(Seq from, Seq* hole_start, Seq* hole_end) const {
+    for (const Range& r : ranges_) {
+      if (SeqBeforeEq(r.second, from)) {
+        continue;
+      }
+      if (SeqAfter(r.first, from)) {
+        *hole_start = from;
+        *hole_end = r.first;
+        return true;
+      }
+      from = r.second;  // inside or touching this range: skip past it
+    }
+    return false;
+  }
+
+  // If `from` lies inside a range, returns that range's end; otherwise
+  // returns `from` unchanged. (One hop; ranges are disjoint and
+  // non-adjacent, so a single hop lands on uncovered space.)
+  Seq SkipCovered(Seq from) const {
+    for (const Range& r : ranges_) {
+      if (SeqInRange(from, r.first, r.second)) {
+        return r.second;
+      }
+      if (SeqAfter(r.first, from)) {
+        break;
+      }
+    }
+    return from;
+  }
+
+  // Advance a cumulative cursor through any leading ranges it touches,
+  // erasing them: the receiver's "drain reassembly buffer" step.
+  Seq DrainFrom(Seq cursor) {
+    while (!ranges_.empty() && SeqBeforeEq(ranges_.front().first, cursor)) {
+      cursor = SeqMax(cursor, ranges_.front().second);
+      ranges_.erase(ranges_.begin());
+    }
+    return cursor;
+  }
+
+  bool empty() const { return ranges_.empty(); }
+  size_t size() const { return ranges_.size(); }
+  void Clear() { ranges_.clear(); }
+
+  Seq max_end() const { return ranges_.empty() ? 0 : ranges_.back().second; }
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const Range& r : ranges_) {
+      total += static_cast<uint64_t>(SeqDelta(r.first, r.second));
+    }
+    return total;
+  }
+
+  const std::vector<Range>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_UTIL_SEQ_RANGE_SET_H_

@@ -1,0 +1,49 @@
+// Time representation for the whole library.
+//
+// All timestamps and durations are signed 64-bit nanosecond counts. A signed
+// type keeps subtraction safe; 64 bits cover ~292 years, far beyond any
+// simulation horizon. Link rates are expressed in bits per second.
+
+#ifndef JUGGLER_SRC_UTIL_TIME_H_
+#define JUGGLER_SRC_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace juggler {
+
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs Us(int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs Ms(int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs Sec(int64_t s) { return s * kNsPerSec; }
+
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double ToSec(TimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+
+// Time to serialize `bytes` onto a link of `rate_bps` bits per second.
+// Rounds up so back-to-back packets never overlap.
+constexpr TimeNs SerializationTime(int64_t bytes, int64_t rate_bps) {
+  const int64_t bits = bytes * 8;
+  return (bits * kNsPerSec + rate_bps - 1) / rate_bps;
+}
+
+// Achieved rate in bits per second for `bytes` transferred over `elapsed`.
+constexpr double RateBps(int64_t bytes, TimeNs elapsed) {
+  if (elapsed <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) * 8.0 * kNsPerSec / static_cast<double>(elapsed);
+}
+
+constexpr double ToGbps(double bps) { return bps / 1e9; }
+
+inline constexpr int64_t kGbps = 1'000'000'000;
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_UTIL_TIME_H_

@@ -1,0 +1,28 @@
+#include "src/workload/message_stream.h"
+
+namespace juggler {
+
+MessageStream::MessageStream(EventLoop* loop, TcpEndpoint* sender, TcpEndpoint* receiver,
+                             PercentileSampler* latency_us)
+    : loop_(loop), sender_(sender), latency_us_(latency_us) {
+  receiver->set_on_deliver([this](uint64_t total) { OnDelivered(total); });
+}
+
+void MessageStream::SendMessage(uint64_t bytes) {
+  enqueued_bytes_ += bytes;
+  pending_.push_back(Pending{enqueued_bytes_, loop_->now()});
+  ++sent_;
+  sender_->Send(bytes);
+}
+
+void MessageStream::OnDelivered(uint64_t total_bytes) {
+  while (!pending_.empty() && pending_.front().end_offset <= total_bytes) {
+    if (latency_us_ != nullptr) {
+      latency_us_->Add(ToUs(loop_->now() - pending_.front().enqueue_time));
+    }
+    pending_.pop_front();
+    ++completed_;
+  }
+}
+
+}  // namespace juggler

@@ -1,0 +1,54 @@
+// Message framing over a TCP byte stream, and RPC completion timing.
+//
+// The paper's RPC workloads are one-way messages multiplexed over long-lived
+// TCP connections; a message completes when its last byte is delivered
+// in-order at the receiver. MessageStream tracks message boundaries as byte
+// offsets in the stream (deterministic, since TCP delivers in order) and
+// samples completion latency.
+
+#ifndef JUGGLER_SRC_WORKLOAD_MESSAGE_STREAM_H_
+#define JUGGLER_SRC_WORKLOAD_MESSAGE_STREAM_H_
+
+#include <deque>
+
+#include "src/sim/event_loop.h"
+#include "src/stats/stats.h"
+#include "src/tcp/tcp_endpoint.h"
+
+namespace juggler {
+
+class MessageStream {
+ public:
+  // `sender` queues bytes; `receiver` is the peer endpoint whose in-order
+  // delivery marks completion. Completion times (µs) go to `latency_us` if
+  // non-null.
+  MessageStream(EventLoop* loop, TcpEndpoint* sender, TcpEndpoint* receiver,
+                PercentileSampler* latency_us);
+
+  void SendMessage(uint64_t bytes);
+
+  uint64_t sent() const { return sent_; }
+  uint64_t completed() const { return completed_; }
+  // Messages enqueued but not yet fully delivered.
+  uint64_t outstanding() const { return sent_ - completed_; }
+
+ private:
+  void OnDelivered(uint64_t total_bytes);
+
+  struct Pending {
+    uint64_t end_offset;  // stream offset one past the message's last byte
+    TimeNs enqueue_time;
+  };
+
+  EventLoop* loop_;
+  TcpEndpoint* sender_;
+  PercentileSampler* latency_us_;
+  std::deque<Pending> pending_;
+  uint64_t enqueued_bytes_ = 0;
+  uint64_t sent_ = 0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_WORKLOAD_MESSAGE_STREAM_H_

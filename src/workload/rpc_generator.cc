@@ -1,0 +1,33 @@
+#include "src/workload/rpc_generator.h"
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+OpenLoopRpcGenerator::OpenLoopRpcGenerator(EventLoop* loop, const RpcGeneratorConfig& config,
+                                           std::vector<MessageStream*> streams)
+    : loop_(loop), config_(config), streams_(std::move(streams)), rng_(config.seed) {
+  JUG_CHECK(!streams_.empty());
+  JUG_CHECK(config_.messages_per_sec > 0.0);
+}
+
+void OpenLoopRpcGenerator::Start() { ScheduleNext(); }
+
+void OpenLoopRpcGenerator::ScheduleNext() {
+  const double gap_sec = rng_.NextExponential(1.0 / config_.messages_per_sec);
+  const TimeNs gap = static_cast<TimeNs>(gap_sec * kNsPerSec);
+  const TimeNs when = loop_->now() + (gap > 0 ? gap : 1);
+  if (when > config_.stop_time) {
+    return;
+  }
+  loop_->ScheduleAt(when, [this] { Fire(); });
+}
+
+void OpenLoopRpcGenerator::Fire() {
+  const size_t pick = static_cast<size_t>(rng_.NextBounded(streams_.size()));
+  streams_[pick]->SendMessage(config_.message_bytes);
+  ++generated_;
+  ScheduleNext();
+}
+
+}  // namespace juggler

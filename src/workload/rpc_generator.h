@@ -1,0 +1,47 @@
+// Open-loop Poisson RPC generation (§5.3.2): messages of a fixed size arrive
+// with exponential inter-arrival times and are multiplexed uniformly at
+// random across a set of message streams (the paper's 8 long-lived sessions
+// per client-server pair). Open-loop means arrivals never wait for
+// completions, so queueing delay shows up in completion times.
+
+#ifndef JUGGLER_SRC_WORKLOAD_RPC_GENERATOR_H_
+#define JUGGLER_SRC_WORKLOAD_RPC_GENERATOR_H_
+
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/util/rng.h"
+#include "src/workload/message_stream.h"
+
+namespace juggler {
+
+struct RpcGeneratorConfig {
+  uint64_t message_bytes = 1'000'000;
+  double messages_per_sec = 1000.0;
+  uint64_t seed = 7;
+  TimeNs stop_time = Sec(1);  // no arrivals after this
+};
+
+class OpenLoopRpcGenerator {
+ public:
+  OpenLoopRpcGenerator(EventLoop* loop, const RpcGeneratorConfig& config,
+                       std::vector<MessageStream*> streams);
+
+  void Start();
+
+  uint64_t generated() const { return generated_; }
+
+ private:
+  void ScheduleNext();
+  void Fire();
+
+  EventLoop* loop_;
+  RpcGeneratorConfig config_;
+  std::vector<MessageStream*> streams_;
+  Rng rng_;
+  uint64_t generated_ = 0;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_WORKLOAD_RPC_GENERATOR_H_

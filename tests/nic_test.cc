@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/juggler.h"
+#include "src/gro/baseline_gro.h"
+#include "src/nic/nic_rx.h"
+#include "src/nic/nic_tx.h"
+#include "src/sim/event_loop.h"
+#include "tests/test_util.h"
+
+namespace juggler {
+namespace {
+
+class SegmentCollector : public SegmentSink {
+ public:
+  explicit SegmentCollector(EventLoop* loop) : loop_(loop) {}
+  void OnSegment(Segment segment) override {
+    times.push_back(loop_->now());
+    segments.push_back(std::move(segment));
+  }
+  std::vector<Segment> segments;
+  std::vector<TimeNs> times;
+
+ private:
+  EventLoop* loop_;
+};
+
+class PacketCollector : public PacketSink {
+ public:
+  void Accept(PacketPtr p) override { packets.push_back(std::move(p)); }
+  std::vector<PacketPtr> packets;
+};
+
+NicRx::GroFactory StandardFactory() {
+  return [](const CpuCostModel* c) -> std::unique_ptr<GroEngine> {
+    return std::make_unique<StandardGro>(c);
+  };
+}
+
+NicRx::GroFactory JugglerFactory(JugglerConfig config = {}) {
+  return [config](const CpuCostModel* c) -> std::unique_ptr<GroEngine> {
+    return std::make_unique<Juggler>(c, config);
+  };
+}
+
+PacketPtr Wire(PacketFactory* f, Seq seq, uint32_t len = kMss) {
+  PacketPtr p = f->Make();
+  p->flow = TestFlow();
+  p->seq = seq;
+  p->payload_len = len;
+  p->flags = kFlagAck;
+  return p;
+}
+
+// ---- NicRx ----
+
+TEST(NicRxTest, FirstPacketInterruptsImmediately) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  nic.Accept(Wire(&f, 0));
+  loop.Run();
+  // Delivered after (zero wait) + poll overhead + per-packet costs.
+  ASSERT_EQ(sink.segments.size(), 1u);
+  EXPECT_LT(sink.times[0], Us(5));
+  EXPECT_EQ(nic.stats().interrupts, 1u);
+}
+
+TEST(NicRxTest, InterruptModerationBatches) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  cfg.int_coalesce = Us(100);
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  // 50 packets spaced 1us (line-rate-ish): the first interrupt fires at t=0
+  // and NAPI stays in polling mode while packets keep landing, so the whole
+  // burst is one or two polling sessions and GRO merges it into large
+  // segments (45-MTU cap).
+  for (Seq s = 0; s < 50; ++s) {
+    loop.Schedule(s * Us(1), [&nic, &f, s] { nic.Accept(Wire(&f, s * kMss)); });
+  }
+  loop.Run();
+  EXPECT_LE(nic.stats().interrupts, 2u);
+  // GRO flushes per poll round, so the burst splits across a handful of
+  // rounds — far fewer segments than packets.
+  EXPECT_LE(sink.segments.size(), 25u);
+  EXPECT_EQ(TotalPayload(sink.segments), 50u * kMss);
+}
+
+TEST(NicRxTest, ChargesRxCore) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  for (Seq s = 0; s < 10; ++s) {
+    nic.Accept(Wire(&f, s * kMss));
+  }
+  loop.Run();
+  // At least driver+gro per packet plus poll overhead.
+  EXPECT_GE(nic.rx_core(0)->busy_ns(),
+            10 * (costs.driver_per_packet + costs.gro_per_packet) + costs.napi_poll_overhead);
+}
+
+TEST(NicRxTest, SegmentsDeliveredAfterCpuWork) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  nic.Accept(Wire(&f, 0));
+  loop.Run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_GE(sink.times[0], costs.napi_poll_overhead + costs.driver_per_packet);
+}
+
+TEST(NicRxTest, RingOverflowDrops) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  cfg.ring_capacity = 8;
+  cfg.int_coalesce = Ms(10);  // hold off polling so the ring fills
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  nic.Accept(Wire(&f, 0));  // first interrupt fires immediately though
+  loop.RunSteps(1);
+  // Now stuff the ring between polls.
+  for (Seq s = 1; s < 20; ++s) {
+    nic.Accept(Wire(&f, s * kMss));
+  }
+  EXPECT_GT(nic.stats().ring_drops, 0u);
+}
+
+TEST(NicRxTest, RssSpreadsFlowsAcrossQueues) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  cfg.num_queues = 4;
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  for (uint16_t port = 0; port < 64; ++port) {
+    PacketPtr p = f.Make();
+    p->flow = TestFlow(port, 80);
+    p->payload_len = kMss;
+    p->flags = kFlagAck;
+    nic.Accept(std::move(p));
+  }
+  loop.Run();
+  int queues_used = 0;
+  for (size_t q = 0; q < 4; ++q) {
+    queues_used += nic.gro(q)->stats().packets_in > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(queues_used, 4);
+  EXPECT_EQ(sink.segments.size() > 0, true);
+}
+
+TEST(NicRxTest, ForceQueuePinsAllFlows) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  cfg.num_queues = 4;
+  cfg.force_queue = 2;
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  for (uint16_t port = 0; port < 16; ++port) {
+    PacketPtr p = f.Make();
+    p->flow = TestFlow(port, 80);
+    p->payload_len = kMss;
+    p->flags = kFlagAck;
+    nic.Accept(std::move(p));
+  }
+  loop.Run();
+  EXPECT_EQ(nic.gro(2)->stats().packets_in, 16u);
+  EXPECT_EQ(nic.gro(0)->stats().packets_in, 0u);
+}
+
+TEST(NicRxTest, JugglerTimerFiresThroughNic) {
+  // The hrtimer path: in-sequence data held by Juggler must flush via the
+  // NIC-armed timer even if no further packets or polls happen.
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  JugglerConfig jcfg;
+  jcfg.inseq_timeout = Us(15);
+  NicRx nic(&loop, &costs, cfg, JugglerFactory(jcfg), &sink);
+  nic.Accept(Wire(&f, 0));
+  loop.Run();  // runs until the timer fires and the flush completes
+  ASSERT_EQ(sink.segments.size(), 1u);
+  EXPECT_GE(sink.times[0], Us(15));
+  EXPECT_LT(sink.times[0], Us(40));
+}
+
+TEST(NicRxTest, JugglerReorderAbsorbedInsideOnePoll) {
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  NicRx nic(&loop, &costs, cfg, JugglerFactory(), &sink);
+  const Seq order[] = {0, 2, 1, 4, 3, 5};
+  for (Seq s : order) {
+    nic.Accept(Wire(&f, s * kMss));
+  }
+  loop.Run();
+  ASSERT_EQ(sink.segments.size(), 1u);  // one in-order segment
+  EXPECT_EQ(sink.segments[0].payload_len, 6 * kMss);
+}
+
+// ---- NicTx ----
+
+TEST(NicTxTest, SegmentsBurstIntoMtus) {
+  EventLoop loop;
+  PacketFactory f;
+  PacketCollector wire;
+  NicTx tx(&loop, &f, NicTxConfig{}, &wire);
+  TsoBurst burst;
+  burst.flow = TestFlow();
+  burst.seq = 1000;
+  burst.len = 3 * kMss + 100;
+  burst.flags = kFlagAck | kFlagPsh;
+  tx.SendBurst(burst);
+  ASSERT_EQ(wire.packets.size(), 4u);
+  EXPECT_EQ(wire.packets[0]->seq, 1000u);
+  EXPECT_EQ(wire.packets[1]->seq, 1000u + kMss);
+  EXPECT_EQ(wire.packets[3]->payload_len, 100u);
+  // PSH only on the last packet.
+  EXPECT_EQ(wire.packets[0]->flags & kFlagPsh, 0);
+  EXPECT_NE(wire.packets[3]->flags & kFlagPsh, 0);
+  // All packets share the burst's tso_id.
+  EXPECT_EQ(wire.packets[0]->tso_id, wire.packets[3]->tso_id);
+}
+
+TEST(NicTxTest, DistinctBurstsGetDistinctTsoIds) {
+  EventLoop loop;
+  PacketFactory f;
+  PacketCollector wire;
+  NicTx tx(&loop, &f, NicTxConfig{}, &wire);
+  TsoBurst burst;
+  burst.flow = TestFlow();
+  burst.len = kMss;
+  tx.SendBurst(burst);
+  burst.seq = kMss;
+  tx.SendBurst(burst);
+  EXPECT_NE(wire.packets[0]->tso_id, wire.packets[1]->tso_id);
+}
+
+TEST(NicTxTest, MarkerSetsPerPacketPriority) {
+  EventLoop loop;
+  PacketFactory f;
+  PacketCollector wire;
+  NicTx tx(&loop, &f, NicTxConfig{}, &wire);
+  int calls = 0;
+  std::function<Priority()> marker = [&calls] {
+    return (calls++ % 2 == 0) ? Priority::kHigh : Priority::kLow;
+  };
+  TsoBurst burst;
+  burst.flow = TestFlow();
+  burst.len = 4 * kMss;
+  burst.marker = &marker;
+  tx.SendBurst(burst);
+  ASSERT_EQ(wire.packets.size(), 4u);
+  EXPECT_EQ(wire.packets[0]->priority, Priority::kHigh);
+  EXPECT_EQ(wire.packets[1]->priority, Priority::kLow);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(NicTxTest, RateLimiterSpacesPackets) {
+  EventLoop loop;
+  PacketFactory f;
+  PacketCollector wire;
+  NicTxConfig cfg;
+  cfg.rate_limit_bps = 1 * kGbps;
+  NicTx tx(&loop, &f, cfg, &wire);
+  TsoBurst burst;
+  burst.flow = TestFlow();
+  burst.len = 10 * kMss;
+  tx.SendBurst(burst);
+  EXPECT_EQ(wire.packets.size(), 1u);  // only the first goes out now
+  loop.Run();
+  EXPECT_EQ(wire.packets.size(), 10u);
+  // 10 wire packets at 1Gb/s: ~ (1448+90)*8*10 ns total.
+  EXPECT_GE(loop.now(), SerializationTime(9 * (kMss + kPerPacketWireOverhead), cfg.rate_limit_bps));
+}
+
+TEST(NicTxTest, SendAckIsPureAck) {
+  EventLoop loop;
+  PacketFactory f;
+  PacketCollector wire;
+  NicTx tx(&loop, &f, NicTxConfig{}, &wire);
+  tx.SendAck(TestFlow(), 100, 5000, 1 << 20, Priority::kHigh);
+  ASSERT_EQ(wire.packets.size(), 1u);
+  EXPECT_TRUE(wire.packets[0]->is_pure_ack());
+  EXPECT_EQ(wire.packets[0]->ack_seq, 5000u);
+  EXPECT_EQ(wire.packets[0]->ack_rwnd, 1u << 20);
+  EXPECT_EQ(wire.packets[0]->priority, Priority::kHigh);
+}
+
+}  // namespace
+}  // namespace juggler

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "src/gro/segment_builder.h"
+#include "src/packet/packet.h"
+#include "tests/test_util.h"
+
+namespace juggler {
+namespace {
+
+TEST(FiveTupleTest, EqualityAndReverse) {
+  const FiveTuple t = TestFlow(10, 20);
+  EXPECT_EQ(t, t);
+  const FiveTuple r = t.Reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.src_port, t.dst_port);
+  EXPECT_EQ(r.Reversed(), t);
+  EXPECT_NE(r.Hash(), t.Hash());
+}
+
+TEST(FiveTupleTest, HashSpreadsPorts) {
+  const uint64_t h1 = TestFlow(1000, 80).Hash();
+  const uint64_t h2 = TestFlow(1001, 80).Hash();
+  EXPECT_NE(h1, h2);
+}
+
+TEST(PacketTest, PureAckDetection) {
+  auto ack = MakeAckPacket(TestFlow(), 500);
+  EXPECT_TRUE(ack->is_pure_ack());
+  auto data = MakeDataPacket(TestFlow(), 0, 100);
+  EXPECT_FALSE(data->is_pure_ack());
+  EXPECT_EQ(data->end_seq(), 100u);
+  EXPECT_EQ(data->wire_bytes(), 100 + kPerPacketWireOverhead);
+}
+
+TEST(PacketTest, FactoryAssignsUniqueIds) {
+  PacketFactory f;
+  auto a = f.Make();
+  auto b = f.Make();
+  EXPECT_NE(a->id, b->id);
+  EXPECT_EQ(f.allocated(), 2u);
+}
+
+TEST(SegmentBuilderTest, StartFromPacket) {
+  SegmentBuilder b;
+  EXPECT_TRUE(b.empty());
+  b.Start(*MakeDataPacket(TestFlow(), 1000, kMss));
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.start_seq(), 1000u);
+  EXPECT_EQ(b.end_seq(), 1000u + kMss);
+  EXPECT_EQ(b.mtu_count(), 1u);
+}
+
+TEST(SegmentBuilderTest, MergesContiguous) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 0, kMss));
+  EXPECT_EQ(b.TryMerge(*MakeDataPacket(TestFlow(), kMss, kMss), kMaxTsoPayload),
+            SegmentBuilder::MergeResult::kMerged);
+  EXPECT_EQ(b.payload_len(), 2 * kMss);
+  EXPECT_EQ(b.mtu_count(), 2u);
+}
+
+TEST(SegmentBuilderTest, RefusesGap) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 0, kMss));
+  EXPECT_EQ(b.TryMerge(*MakeDataPacket(TestFlow(), 2 * kMss, kMss), kMaxTsoPayload),
+            SegmentBuilder::MergeResult::kRefusedOoo);
+  EXPECT_EQ(b.payload_len(), kMss);  // unchanged
+}
+
+TEST(SegmentBuilderTest, RefusesMetaMismatch) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 0, kMss));
+  auto p = MakeDataPacket(TestFlow(), kMss, kMss);
+  p->options_token = 99;
+  EXPECT_EQ(b.TryMerge(*p, kMaxTsoPayload), SegmentBuilder::MergeResult::kRefusedMeta);
+  auto q = MakeDataPacket(TestFlow(), kMss, kMss);
+  q->ce_mark = true;
+  EXPECT_EQ(b.TryMerge(*q, kMaxTsoPayload), SegmentBuilder::MergeResult::kRefusedMeta);
+}
+
+TEST(SegmentBuilderTest, SizeLimit) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 0, kMss));
+  Seq next = kMss;
+  for (int i = 0; i < 43; ++i) {
+    EXPECT_EQ(b.TryMerge(*MakeDataPacket(TestFlow(), next, kMss), kMaxTsoPayload),
+              SegmentBuilder::MergeResult::kMerged);
+    next += kMss;
+  }
+  // 45th MTU fills the segment exactly: merged but final.
+  EXPECT_EQ(b.TryMerge(*MakeDataPacket(TestFlow(), next, kMss), kMaxTsoPayload),
+            SegmentBuilder::MergeResult::kMergedFinal);
+  next += kMss;
+  EXPECT_EQ(b.payload_len(), kMaxTsoPayload);
+  // 46th does not fit.
+  EXPECT_EQ(b.TryMerge(*MakeDataPacket(TestFlow(), next, kMss), kMaxTsoPayload),
+            SegmentBuilder::MergeResult::kRefusedSize);
+}
+
+TEST(SegmentBuilderTest, PshMarksFinalAndNeedsFlush) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 0, kMss));
+  EXPECT_FALSE(b.needs_flush());
+  EXPECT_EQ(b.TryMerge(*MakeDataPacket(TestFlow(), kMss, kMss, kFlagAck | kFlagPsh),
+                       kMaxTsoPayload),
+            SegmentBuilder::MergeResult::kMergedFinal);
+  EXPECT_TRUE((b.segment().flags & kFlagPsh) != 0);
+}
+
+TEST(SegmentBuilderTest, StartWithPshNeedsFlush) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 0, 150, kFlagAck | kFlagPsh));
+  EXPECT_TRUE(b.needs_flush());
+}
+
+TEST(SegmentBuilderTest, TakeResets) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 100, kMss));
+  const Segment s = b.Take();
+  EXPECT_EQ(s.seq, 100u);
+  EXPECT_EQ(s.payload_len, kMss);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(SegmentBuilderTest, AppendJoinsRuns) {
+  SegmentBuilder a;
+  a.Start(*MakeDataPacket(TestFlow(), 0, kMss));
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), kMss, kMss, kFlagAck | kFlagPsh));
+  a.Append(std::move(b));
+  EXPECT_EQ(a.payload_len(), 2 * kMss);
+  EXPECT_EQ(a.mtu_count(), 2u);
+  EXPECT_TRUE(a.needs_flush());
+}
+
+TEST(SegmentBuilderTest, TracksRxTimes) {
+  SegmentBuilder b;
+  b.Start(*MakeDataPacket(TestFlow(), 0, kMss, kFlagAck, /*rx_time=*/100));
+  b.TryMerge(*MakeDataPacket(TestFlow(), kMss, kMss, kFlagAck, /*rx_time=*/250), kMaxTsoPayload);
+  EXPECT_EQ(b.segment().first_rx_time, 100);
+  EXPECT_EQ(b.segment().last_rx_time, 250);
+}
+
+TEST(SegmentBuilderTest, LatestAckWins) {
+  SegmentBuilder b;
+  auto p1 = MakeDataPacket(TestFlow(), 0, kMss);
+  p1->ack_seq = 10;
+  b.Start(*p1);
+  auto p2 = MakeDataPacket(TestFlow(), kMss, kMss);
+  p2->ack_seq = 20;
+  b.TryMerge(*p2, kMaxTsoPayload);
+  EXPECT_EQ(b.segment().ack_seq, 20u);
+}
+
+TEST(SegmentBuilderTest, WrapAroundMerge) {
+  SegmentBuilder b;
+  const Seq near_wrap = 0xffffffffu - kMss + 1;
+  b.Start(*MakeDataPacket(TestFlow(), near_wrap, kMss));
+  EXPECT_EQ(b.end_seq(), 0u);  // wrapped
+  EXPECT_EQ(b.TryMerge(*MakeDataPacket(TestFlow(), 0, kMss), kMaxTsoPayload),
+            SegmentBuilder::MergeResult::kMerged);
+  EXPECT_EQ(b.end_seq(), kMss);
+}
+
+}  // namespace
+}  // namespace juggler

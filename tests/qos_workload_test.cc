@@ -1,0 +1,201 @@
+// Unit tests for the QoS controller's control law and the workload
+// generators, using a stub connection (no network).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/qos/priority_controller.h"
+#include "src/workload/message_stream.h"
+#include "src/workload/rpc_generator.h"
+#include "tests/test_util.h"
+
+namespace juggler {
+namespace {
+
+// A NicTx wired to a black hole, so endpoints can exist without a network.
+struct NullWire : PacketSink {
+  void Accept(PacketPtr) override {}
+};
+
+struct StubConnection {
+  StubConnection() : nic(&loop, &factory, NicTxConfig{}, &wire) {
+    endpoint = std::make_unique<TcpEndpoint>(&loop, TcpConfig{}, TestFlow(), &nic);
+  }
+  EventLoop loop;
+  PacketFactory factory;
+  NullWire wire;
+  NicTx nic;
+  std::unique_ptr<TcpEndpoint> endpoint;
+};
+
+TEST(PriorityControllerTest, PRisesWhenBelowTarget) {
+  StubConnection c;
+  PriorityControllerConfig cfg;
+  cfg.target_rate_bps = 20 * kGbps;
+  cfg.line_rate_bps = 40 * kGbps;
+  cfg.alpha = 0.1;
+  PriorityController controller(&c.loop, cfg, c.endpoint.get());
+  controller.Start();
+  // No ACKs arrive -> measured rate 0 -> p += alpha * 0.5 each period.
+  c.loop.RunUntil(5 * cfg.update_period + Us(1));
+  EXPECT_NEAR(controller.p(), 5 * 0.1 * 0.5, 1e-9);
+}
+
+TEST(PriorityControllerTest, PClampedToOne) {
+  StubConnection c;
+  PriorityControllerConfig cfg;
+  cfg.target_rate_bps = 40 * kGbps;
+  cfg.line_rate_bps = 40 * kGbps;
+  cfg.alpha = 1.0;
+  PriorityController controller(&c.loop, cfg, c.endpoint.get());
+  controller.Start();
+  c.loop.RunUntil(Ms(10));
+  EXPECT_DOUBLE_EQ(controller.p(), 1.0);
+}
+
+TEST(PriorityControllerTest, MarkerFrequencyTracksP) {
+  StubConnection c;
+  PriorityControllerConfig cfg;
+  cfg.target_rate_bps = 20 * kGbps;
+  cfg.line_rate_bps = 40 * kGbps;
+  cfg.alpha = 1.0;  // p jumps to 0.5 after one period
+  PriorityController controller(&c.loop, cfg, c.endpoint.get());
+  controller.Start();
+  c.loop.RunUntil(cfg.update_period + Us(1));
+  EXPECT_NEAR(controller.p(), 0.5, 1e-9);
+  // The marking frequency itself is validated statistically end-to-end in
+  // the dumbbell integration test.
+}
+
+TEST(PriorityControllerTest, StopHaltsUpdates) {
+  StubConnection c;
+  PriorityControllerConfig cfg;
+  PriorityController controller(&c.loop, cfg, c.endpoint.get());
+  controller.Start();
+  c.loop.RunUntil(2 * cfg.update_period + Us(1));
+  const double p = controller.p();
+  controller.Stop();
+  c.loop.RunUntil(Ms(10));
+  EXPECT_DOUBLE_EQ(controller.p(), p);
+}
+
+TEST(MessageStreamTest, CompletionRequiresAllBytes) {
+  StubConnection c;
+  PercentileSampler lat;
+  // Sender and receiver are the same endpoint here: we drive delivery by
+  // calling the receiver's deliver callback through OnSegment data.
+  StubConnection peer;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), &lat);
+  stream.SendMessage(10'000);
+  EXPECT_EQ(stream.sent(), 1u);
+  EXPECT_EQ(stream.completed(), 0u);
+  // Feed the peer endpoint the full 10KB in-order.
+  Segment s;
+  s.flow = TestFlow();
+  s.seq = 0;
+  s.payload_len = 10'000;
+  s.mtu_count = 7;
+  s.flags = kFlagAck;
+  peer.endpoint->OnSegment(s);
+  EXPECT_EQ(stream.completed(), 1u);
+  EXPECT_EQ(stream.outstanding(), 0u);
+  EXPECT_EQ(lat.count(), 1u);
+}
+
+TEST(MessageStreamTest, PartialDeliveryDoesNotComplete) {
+  StubConnection c;
+  StubConnection peer;
+  PercentileSampler lat;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), &lat);
+  stream.SendMessage(10'000);
+  Segment s;
+  s.flow = TestFlow();
+  s.seq = 0;
+  s.payload_len = 5'000;
+  s.mtu_count = 4;
+  s.flags = kFlagAck;
+  peer.endpoint->OnSegment(s);
+  EXPECT_EQ(stream.completed(), 0u);
+  s.seq = 5'000;
+  peer.endpoint->OnSegment(s);
+  EXPECT_EQ(stream.completed(), 1u);
+}
+
+TEST(MessageStreamTest, BackToBackMessagesCompleteInOrder) {
+  StubConnection c;
+  StubConnection peer;
+  PercentileSampler lat;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), &lat);
+  for (int i = 0; i < 3; ++i) {
+    stream.SendMessage(1000);
+  }
+  Segment s;
+  s.flow = TestFlow();
+  s.seq = 0;
+  s.payload_len = 2'500;  // 2.5 messages
+  s.mtu_count = 2;
+  s.flags = kFlagAck;
+  peer.endpoint->OnSegment(s);
+  EXPECT_EQ(stream.completed(), 2u);
+  EXPECT_EQ(stream.outstanding(), 1u);
+}
+
+TEST(RpcGeneratorTest, PoissonRateIsApproximatelyRight) {
+  StubConnection c;
+  StubConnection peer;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), nullptr);
+  RpcGeneratorConfig cfg;
+  cfg.message_bytes = 150;
+  cfg.messages_per_sec = 10'000;
+  cfg.stop_time = Ms(100);
+  cfg.seed = 3;
+  OpenLoopRpcGenerator gen(&c.loop, cfg, {&stream});
+  gen.Start();
+  c.loop.RunUntil(Ms(100));
+  // Expect ~1000 messages +- 15%.
+  EXPECT_NEAR(static_cast<double>(gen.generated()), 1000.0, 150.0);
+  EXPECT_EQ(stream.sent(), gen.generated());
+}
+
+TEST(RpcGeneratorTest, StopsAtStopTime) {
+  StubConnection c;
+  StubConnection peer;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), nullptr);
+  RpcGeneratorConfig cfg;
+  cfg.messages_per_sec = 1000;
+  cfg.stop_time = Ms(10);
+  OpenLoopRpcGenerator gen(&c.loop, cfg, {&stream});
+  gen.Start();
+  c.loop.RunUntil(Ms(10));
+  const uint64_t at_stop = gen.generated();
+  EXPECT_GT(at_stop, 0u);
+  c.loop.RunUntil(Ms(100));
+  EXPECT_EQ(gen.generated(), at_stop);  // no arrivals past stop_time
+}
+
+TEST(RpcGeneratorTest, MultiplexesAcrossStreams) {
+  StubConnection c;
+  StubConnection peer;
+  std::vector<std::unique_ptr<MessageStream>> streams;
+  std::vector<MessageStream*> raw;
+  for (int i = 0; i < 8; ++i) {
+    streams.push_back(
+        std::make_unique<MessageStream>(&c.loop, c.endpoint.get(), peer.endpoint.get(), nullptr));
+    raw.push_back(streams.back().get());
+  }
+  RpcGeneratorConfig cfg;
+  cfg.messages_per_sec = 50'000;
+  cfg.stop_time = Ms(20);
+  OpenLoopRpcGenerator gen(&c.loop, cfg, raw);
+  gen.Start();
+  c.loop.RunUntil(Ms(20));
+  int used = 0;
+  for (const auto& s : streams) {
+    used += s->sent() > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(used, 8);
+}
+
+}  // namespace
+}  // namespace juggler

@@ -1,0 +1,197 @@
+// Host assembly and topology-builder tests: segment demux, app-core
+// pinning and backpressure, RED behaviour, periodic sampling, and the
+// wiring invariants of the three experiment topologies.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/scenario/gro_factories.h"
+#include "src/scenario/sampler.h"
+#include "src/scenario/topologies.h"
+#include "tests/test_util.h"
+
+namespace juggler {
+namespace {
+
+NetFpgaOptions TwoHostOptions() {
+  NetFpgaOptions opt;
+  opt.link_rate_bps = 10 * kGbps;
+  opt.reorder_delay = 0;
+  opt.sender.gro_factory = MakeStandardGroFactory();
+  opt.receiver = opt.sender;
+  return opt;
+}
+
+TEST(HostTest, DemuxRoutesToCorrectEndpoint) {
+  SimWorld world;
+  NetFpgaTestbed t = BuildNetFpga(&world, TwoHostOptions());
+  EndpointPair c1 = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+  EndpointPair c2 = ConnectHosts(t.sender, t.receiver, 1001, 2000);
+  c1.a_to_b->Send(100'000);
+  c2.a_to_b->Send(50'000);
+  world.loop.RunUntil(Ms(50));
+  EXPECT_EQ(c1.b_to_a->bytes_delivered(), 100'000u);
+  EXPECT_EQ(c2.b_to_a->bytes_delivered(), 50'000u);
+  EXPECT_EQ(t.receiver->stray_segments(), 0u);
+  EXPECT_EQ(t.sender->stray_segments(), 0u);
+}
+
+TEST(HostTest, StraySegmentsCounted) {
+  SimWorld world;
+  NetFpgaTestbed t = BuildNetFpga(&world, TwoHostOptions());
+  // No endpoint registered: inject a segment for an unknown flow.
+  Segment s;
+  s.flow = TestFlow();
+  s.payload_len = 100;
+  s.mtu_count = 1;
+  s.flags = kFlagAck;
+  t.receiver->OnSegment(s);
+  world.loop.Run();
+  EXPECT_EQ(t.receiver->stray_segments(), 1u);
+}
+
+TEST(HostTest, FlowsPinToStableAppCores) {
+  SimWorld world;
+  NetFpgaOptions opt = TwoHostOptions();
+  opt.receiver.num_app_cores = 4;
+  opt.receiver.rx.num_queues = 4;
+  NetFpgaTestbed t = BuildNetFpga(&world, TwoHostOptions());
+  // app_core_for is deterministic per flow.
+  const FiveTuple inbound = TestFlow();
+  EXPECT_EQ(t.receiver->app_core_for(inbound), t.receiver->app_core_for(inbound));
+}
+
+TEST(HostTest, AppCoreChargedForDeliveredSegments) {
+  SimWorld world;
+  NetFpgaTestbed t = BuildNetFpga(&world, TwoHostOptions());
+  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+  pair.a_to_b->Send(1'000'000);
+  world.loop.RunUntil(Ms(50));
+  EXPECT_GT(t.receiver->app_core()->busy_ns(), 0);
+  // Sender's app core only processed ACKs: far cheaper.
+  EXPECT_GT(t.receiver->app_core()->busy_ns(), t.sender->app_core()->busy_ns());
+}
+
+TEST(HostTest, PendingRxBytesDrainToZero) {
+  SimWorld world;
+  NetFpgaTestbed t = BuildNetFpga(&world, TwoHostOptions());
+  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+  pair.a_to_b->Send(500'000);
+  world.loop.RunUntil(Ms(100));
+  EXPECT_EQ(t.receiver->pending_rx_bytes(), 0u);
+}
+
+TEST(TopologyTest, ClosRoutesAllPairs) {
+  SimWorld world;
+  ClosOptions opt;
+  opt.hosts_per_tor = 4;
+  opt.host_template.gro_factory = MakeJugglerFactory();
+  ClosTestbed t = BuildClos(&world, opt);
+  // Every left->right pair can exchange data.
+  std::vector<EndpointPair> pairs;
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      pairs.push_back(ConnectHosts(t.left_hosts[i], t.right_hosts[j],
+                                   static_cast<uint16_t>(1000 + j), 2000));
+      pairs.back().a_to_b->Send(10'000);
+    }
+  }
+  world.loop.RunUntil(Ms(100));
+  for (const auto& pair : pairs) {
+    EXPECT_EQ(pair.b_to_a->bytes_delivered(), 10'000u);
+  }
+  EXPECT_EQ(t.tor_a->dropped_no_route(), 0u);
+  EXPECT_EQ(t.tor_b->dropped_no_route(), 0u);
+}
+
+TEST(TopologyTest, ClosRightToLeftWorksToo) {
+  SimWorld world;
+  ClosOptions opt;
+  opt.hosts_per_tor = 2;
+  opt.host_template.gro_factory = MakeJugglerFactory();
+  ClosTestbed t = BuildClos(&world, opt);
+  EndpointPair pair = ConnectHosts(t.right_hosts[0], t.left_hosts[1], 1000, 2000);
+  pair.a_to_b->Send(100'000);
+  world.loop.RunUntil(Ms(50));
+  EXPECT_EQ(pair.b_to_a->bytes_delivered(), 100'000u);
+}
+
+TEST(TopologyTest, DumbbellCrossTraffic) {
+  SimWorld world;
+  DumbbellOptions opt;
+  opt.host_template.gro_factory = MakeJugglerFactory();
+  DumbbellTestbed t = BuildDumbbell(&world, opt);
+  EndpointPair a = ConnectHosts(t.sender1, t.receiver2, 1000, 2000);
+  EndpointPair b = ConnectHosts(t.sender2, t.receiver1, 1001, 2000);
+  a.a_to_b->Send(200'000);
+  b.a_to_b->Send(200'000);
+  world.loop.RunUntil(Ms(50));
+  EXPECT_EQ(a.b_to_a->bytes_delivered(), 200'000u);
+  EXPECT_EQ(b.b_to_a->bytes_delivered(), 200'000u);
+}
+
+TEST(TopologyTest, NetFpgaReorderOnlyForwardPath) {
+  SimWorld world;
+  NetFpgaOptions opt = TwoHostOptions();
+  opt.reorder_delay = Us(500);
+  opt.receiver.gro_factory = MakeJugglerFactory(JugglerConfig{
+      .inseq_timeout = Us(52), .ofo_timeout = Us(600)});
+  NetFpgaTestbed t = BuildNetFpga(&world, opt);
+  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+  pair.a_to_b->Send(2'000'000);
+  world.loop.RunUntil(Ms(100));
+  EXPECT_EQ(pair.b_to_a->bytes_delivered(), 2'000'000u);
+  EXPECT_GT(t.reorder->packets_through(), 1000u);
+}
+
+TEST(PeriodicTaskTest, FiresUntilStopTime) {
+  EventLoop loop;
+  int fires = 0;
+  PeriodicTask task(&loop, Ms(1), Ms(10), [&] { ++fires; });
+  loop.Run();
+  EXPECT_EQ(fires, 10);
+  EXPECT_LE(loop.now(), Ms(10));
+}
+
+TEST(RedTest, DropsRampWithOccupancy) {
+  EventLoop loop;
+  PacketFactory f;
+  class Sink : public PacketSink {
+   public:
+    void Accept(PacketPtr) override {}
+  } sink;
+  LinkConfig cfg;
+  cfg.rate_bps = 1 * kGbps;
+  cfg.queue_limit_bytes = 200 * (kMss + kPerPacketWireOverhead);
+  cfg.red = true;
+  cfg.red_seed = 5;
+  Link link(&loop, "l", cfg, &sink);
+  // Flood: occupancy climbs through the RED band; some but not all drop.
+  for (int i = 0; i < 400; ++i) {
+    PacketPtr p = f.Make();
+    p->flow = TestFlow();
+    p->payload_len = kMss;
+    link.Accept(std::move(p));
+  }
+  EXPECT_GT(link.stats().red_drops, 0u);
+  EXPECT_LT(link.stats().red_drops, 400u);
+  loop.Run();
+}
+
+TEST(GroFactoryTest, EachFactoryMakesDistinctEngines) {
+  CpuCostModel costs;
+  auto j = MakeJugglerFactory()( &costs);
+  auto s = MakeStandardGroFactory()(&costs);
+  auto n = MakeNoGroFactory()(&costs);
+  auto l = MakeLinkedListGroFactory()(&costs);
+  auto p = MakePrestoGroFactory()(&costs);
+  EXPECT_EQ(j->name(), "juggler");
+  EXPECT_EQ(s->name(), "standard_gro");
+  EXPECT_EQ(n->name(), "no_gro");
+  EXPECT_EQ(l->name(), "linkedlist_gro");
+  EXPECT_EQ(p->name(), "presto_gro");
+}
+
+}  // namespace
+}  // namespace juggler

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/seq_range_set.h"
+
+namespace juggler {
+namespace {
+
+TEST(SeqRangeSetTest, InsertDisjoint) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(30, 40);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ranges()[0], (SeqRangeSet::Range{10, 20}));
+  EXPECT_EQ(s.ranges()[1], (SeqRangeSet::Range{30, 40}));
+  EXPECT_EQ(s.TotalBytes(), 20u);
+}
+
+TEST(SeqRangeSetTest, InsertMergesOverlap) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(15, 30);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (SeqRangeSet::Range{10, 30}));
+}
+
+TEST(SeqRangeSetTest, InsertMergesAdjacent) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(20, 30);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (SeqRangeSet::Range{10, 30}));
+}
+
+TEST(SeqRangeSetTest, InsertBridgesMultiple) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(30, 40);
+  s.Insert(50, 60);
+  s.Insert(15, 55);  // swallows the middle, bridges ends
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (SeqRangeSet::Range{10, 60}));
+}
+
+TEST(SeqRangeSetTest, EmptyRangeIgnored) {
+  SeqRangeSet s;
+  s.Insert(10, 10);
+  s.Insert(10, 9);  // backwards
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqRangeSetTest, Covers) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(30, 40);
+  EXPECT_TRUE(s.Covers(10));
+  EXPECT_TRUE(s.Covers(19));
+  EXPECT_FALSE(s.Covers(20));  // half-open
+  EXPECT_FALSE(s.Covers(25));
+  EXPECT_TRUE(s.Covers(35));
+  EXPECT_FALSE(s.Covers(40));
+}
+
+TEST(SeqRangeSetTest, ClipBelowErasesAndTrims) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(30, 40);
+  s.ClipBelow(15);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ranges()[0], (SeqRangeSet::Range{15, 20}));
+  s.ClipBelow(25);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (SeqRangeSet::Range{30, 40}));
+  s.ClipBelow(100);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqRangeSetTest, NextHoleFindsGaps) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(30, 40);
+  Seq hs = 0;
+  Seq he = 0;
+  ASSERT_TRUE(s.NextHole(5, &hs, &he));
+  EXPECT_EQ(hs, 5u);
+  EXPECT_EQ(he, 10u);
+  ASSERT_TRUE(s.NextHole(10, &hs, &he));  // inside a range: skip past it
+  EXPECT_EQ(hs, 20u);
+  EXPECT_EQ(he, 30u);
+  ASSERT_TRUE(s.NextHole(25, &hs, &he));
+  EXPECT_EQ(hs, 25u);
+  EXPECT_EQ(he, 30u);
+  // Past the last range: no hole (nothing SACKed above).
+  EXPECT_FALSE(s.NextHole(35, &hs, &he));
+  EXPECT_FALSE(s.NextHole(100, &hs, &he));
+}
+
+TEST(SeqRangeSetTest, DrainFromAdvancesThroughLeadingRanges) {
+  SeqRangeSet s;
+  s.Insert(10, 20);
+  s.Insert(20, 30);  // merged with above
+  s.Insert(40, 50);
+  EXPECT_EQ(s.DrainFrom(10), 30u);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.DrainFrom(35), 35u);  // gap before 40: cursor unchanged
+  EXPECT_EQ(s.DrainFrom(45), 50u);  // overlapping range consumed
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqRangeSetTest, MaxEnd) {
+  SeqRangeSet s;
+  EXPECT_EQ(s.max_end(), 0u);
+  s.Insert(10, 20);
+  s.Insert(40, 50);
+  EXPECT_EQ(s.max_end(), 50u);
+}
+
+TEST(SeqRangeSetTest, WrapAroundRanges) {
+  SeqRangeSet s;
+  const Seq near_max = 0xffffff00u;
+  s.Insert(near_max, near_max + 0x200);  // wraps past zero
+  EXPECT_TRUE(s.Covers(0x40));
+  EXPECT_TRUE(s.Covers(near_max + 1));
+  s.Insert(near_max + 0x200, near_max + 0x300);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.TotalBytes(), 0x300u);
+  s.ClipBelow(near_max + 0x100);
+  EXPECT_EQ(s.TotalBytes(), 0x200u);
+}
+
+TEST(SeqRangeSetTest, RandomizedAgainstReference) {
+  // Property check against a simple byte-set reference model.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    SeqRangeSet s;
+    bool ref[512] = {};
+    for (int op = 0; op < 200; ++op) {
+      const Seq start = static_cast<Seq>(rng.NextBounded(480));
+      const Seq end = start + 1 + static_cast<Seq>(rng.NextBounded(30));
+      s.Insert(start, end);
+      for (Seq b = start; b < end; ++b) {
+        ref[b] = true;
+      }
+    }
+    uint64_t ref_total = 0;
+    for (Seq b = 0; b < 512; ++b) {
+      EXPECT_EQ(s.Covers(b), ref[b]) << "byte " << b;
+      ref_total += ref[b] ? 1 : 0;
+    }
+    EXPECT_EQ(s.TotalBytes(), ref_total);
+    // Ranges must be sorted, disjoint, non-adjacent.
+    for (size_t i = 0; i + 1 < s.ranges().size(); ++i) {
+      EXPECT_TRUE(SeqBefore(s.ranges()[i].second, s.ranges()[i + 1].first));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace juggler

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_loop.h"
+
+namespace juggler {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(20, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoopTest, TiesBreakFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoopTest, NestedScheduling) {
+  EventLoop loop;
+  std::vector<TimeNs> times;
+  loop.Schedule(10, [&] {
+    times.push_back(loop.now());
+    loop.Schedule(5, [&] { times.push_back(loop.now()); });
+  });
+  loop.Run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const TimerId id = loop.Schedule(10, [&] { ran = true; });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.executed_events(), 0u);
+}
+
+TEST(EventLoopTest, CancelInvalidIdIsNoop) {
+  EventLoop loop;
+  loop.Cancel(kInvalidTimerId);
+  loop.Cancel(9999);
+  loop.Run();
+}
+
+TEST(EventLoopTest, CancelOneOfMany) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(10, [&] { order.push_back(1); });
+  const TimerId id = loop.Schedule(20, [&] { order.push_back(2); });
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(100, [&] { order.push_back(2); });
+  loop.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(loop.now(), 50);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  EventLoop loop;
+  loop.RunUntil(1000);
+  EXPECT_EQ(loop.now(), 1000);
+}
+
+TEST(EventLoopTest, RunStepsBounded) {
+  EventLoop loop;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(i + 1, [&] { ++count; });
+  }
+  EXPECT_EQ(loop.RunSteps(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(EventLoopTest, StopInsideCallback) {
+  EventLoop loop;
+  int count = 0;
+  loop.Schedule(1, [&] {
+    ++count;
+    loop.Stop();
+  });
+  loop.Schedule(2, [&] { ++count; });
+  loop.Run();
+  EXPECT_EQ(count, 1);
+  loop.Run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoopTest, ReschedulingTimerPattern) {
+  // The pattern every component uses: re-arm from inside the callback.
+  EventLoop loop;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 5) {
+      loop.Schedule(10, tick);
+    }
+  };
+  loop.Schedule(10, tick);
+  loop.Run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(loop.now(), 50);
+}
+
+TEST(EventLoopTest, ManyEventsStress) {
+  EventLoop loop;
+  uint64_t sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    loop.Schedule(i % 997, [&sum] { ++sum; });
+  }
+  loop.Run();
+  EXPECT_EQ(sum, 100000u);
+}
+
+}  // namespace
+}  // namespace juggler

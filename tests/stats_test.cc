@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/stats.h"
+#include "src/stats/table_printer.h"
+#include "src/util/rng.h"
+
+namespace juggler {
+namespace {
+
+TEST(PercentileSamplerTest, ExactSmallSet) {
+  PercentileSampler s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(PercentileSamplerTest, EmptyIsZero) {
+  PercentileSampler s;
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(PercentileSamplerTest, InterpolatesBetweenPoints) {
+  PercentileSampler s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.5);
+}
+
+TEST(PercentileSamplerTest, P99OfUniform) {
+  PercentileSampler s;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    s.Add(rng.NextDouble() * 100.0);
+  }
+  EXPECT_NEAR(s.Percentile(99), 99.0, 0.5);
+  EXPECT_NEAR(s.Mean(), 50.0, 0.5);
+  EXPECT_NEAR(s.StdDev(), 100.0 / std::sqrt(12.0), 0.5);
+}
+
+TEST(PercentileSamplerTest, ReservoirKeepsDistribution) {
+  PercentileSampler s(1024);  // force reservoir mode
+  Rng rng(6);
+  for (int i = 0; i < 200000; ++i) {
+    s.Add(rng.NextDouble() * 100.0);
+  }
+  EXPECT_EQ(s.count(), 200000u);
+  EXPECT_NEAR(s.Percentile(50), 50.0, 5.0);
+  // Mean/extremes are exact regardless of sampling.
+  EXPECT_NEAR(s.Mean(), 50.0, 0.5);
+  EXPECT_LT(s.Max(), 100.0);
+}
+
+TEST(PercentileSamplerTest, ClearResets) {
+  PercentileSampler s;
+  s.Add(1.0);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0, 10, 10);
+  h.Add(0.5);
+  h.Add(5.5);
+  h.Add(-3.0);   // clamps to first bin
+  h.Add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, Cdf) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.Add(i + 0.5);
+  }
+  EXPECT_NEAR(h.CdfAt(5.0), 0.5, 1e-9);
+  EXPECT_NEAR(h.CdfAt(10.0), 1.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, BinsAndRates) {
+  TimeSeries ts(0, Ms(1), 10);
+  ts.Add(Us(500), 100.0);
+  ts.Add(Us(900), 50.0);
+  ts.Add(Ms(5), 200.0);
+  ts.Add(Ms(100), 999.0);  // out of range: ignored
+  ts.Add(-5, 999.0);       // before start: ignored
+  EXPECT_DOUBLE_EQ(ts.bin_sum(0), 150.0);
+  EXPECT_DOUBLE_EQ(ts.bin_sum(5), 200.0);
+  // 150 units in 1ms = 150000 units/sec.
+  EXPECT_DOUBLE_EQ(ts.bin_rate(0), 150000.0);
+  EXPECT_EQ(ts.bin_start(5), Ms(5));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer_name", "2.50"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Each row ends without trailing spaces.
+  EXPECT_EQ(out.find(" \n"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace juggler
