@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_linkedlist_cpu"
+  "../bench/ablation_linkedlist_cpu.pdb"
+  "CMakeFiles/ablation_linkedlist_cpu.dir/ablation_linkedlist_cpu.cc.o"
+  "CMakeFiles/ablation_linkedlist_cpu.dir/ablation_linkedlist_cpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linkedlist_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_features"
+  "../bench/extension_features.pdb"
+  "CMakeFiles/extension_features.dir/extension_features.cc.o"
+  "CMakeFiles/extension_features.dir/extension_features.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_guarantee_timeseries"
+  "../bench/fig01_guarantee_timeseries.pdb"
+  "CMakeFiles/fig01_guarantee_timeseries.dir/fig01_guarantee_timeseries.cc.o"
+  "CMakeFiles/fig01_guarantee_timeseries.dir/fig01_guarantee_timeseries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_guarantee_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_cpu_single_flow"
+  "../bench/fig09_cpu_single_flow.pdb"
+  "CMakeFiles/fig09_cpu_single_flow.dir/fig09_cpu_single_flow.cc.o"
+  "CMakeFiles/fig09_cpu_single_flow.dir/fig09_cpu_single_flow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cpu_single_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

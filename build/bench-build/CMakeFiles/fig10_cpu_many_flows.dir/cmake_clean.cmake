@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cpu_many_flows"
+  "../bench/fig10_cpu_many_flows.pdb"
+  "CMakeFiles/fig10_cpu_many_flows.dir/fig10_cpu_many_flows.cc.o"
+  "CMakeFiles/fig10_cpu_many_flows.dir/fig10_cpu_many_flows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_many_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

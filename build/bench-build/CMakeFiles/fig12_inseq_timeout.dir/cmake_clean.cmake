@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_inseq_timeout"
+  "../bench/fig12_inseq_timeout.pdb"
+  "CMakeFiles/fig12_inseq_timeout.dir/fig12_inseq_timeout.cc.o"
+  "CMakeFiles/fig12_inseq_timeout.dir/fig12_inseq_timeout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inseq_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_inseq_timeout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ofo_timeout_throughput"
+  "../bench/fig13_ofo_timeout_throughput.pdb"
+  "CMakeFiles/fig13_ofo_timeout_throughput.dir/fig13_ofo_timeout_throughput.cc.o"
+  "CMakeFiles/fig13_ofo_timeout_throughput.dir/fig13_ofo_timeout_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ofo_timeout_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_ofo_timeout_latency"
+  "../bench/fig14_ofo_timeout_latency.pdb"
+  "CMakeFiles/fig14_ofo_timeout_latency.dir/fig14_ofo_timeout_latency.cc.o"
+  "CMakeFiles/fig14_ofo_timeout_latency.dir/fig14_ofo_timeout_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ofo_timeout_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_active_flows"
+  "../bench/fig15_active_flows.pdb"
+  "CMakeFiles/fig15_active_flows.dir/fig15_active_flows.cc.o"
+  "CMakeFiles/fig15_active_flows.dir/fig15_active_flows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_active_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_active_list_realistic"
+  "../bench/fig16_active_list_realistic.pdb"
+  "CMakeFiles/fig16_active_list_realistic.dir/fig16_active_list_realistic.cc.o"
+  "CMakeFiles/fig16_active_list_realistic.dir/fig16_active_list_realistic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_active_list_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

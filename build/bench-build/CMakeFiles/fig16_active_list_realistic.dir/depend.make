@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_active_list_realistic.
+# This may be replaced when dependencies are built.

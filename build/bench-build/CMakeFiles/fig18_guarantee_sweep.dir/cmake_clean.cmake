@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_guarantee_sweep"
+  "../bench/fig18_guarantee_sweep.pdb"
+  "CMakeFiles/fig18_guarantee_sweep.dir/fig18_guarantee_sweep.cc.o"
+  "CMakeFiles/fig18_guarantee_sweep.dir/fig18_guarantee_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_guarantee_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/latency_overhead"
+  "../bench/latency_overhead.pdb"
+  "CMakeFiles/latency_overhead.dir/latency_overhead.cc.o"
+  "CMakeFiles/latency_overhead.dir/latency_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

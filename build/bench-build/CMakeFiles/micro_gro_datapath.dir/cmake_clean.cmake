@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_gro_datapath"
+  "../bench/micro_gro_datapath.pdb"
+  "CMakeFiles/micro_gro_datapath.dir/micro_gro_datapath.cc.o"
+  "CMakeFiles/micro_gro_datapath.dir/micro_gro_datapath.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gro_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_guarantee.dir/bandwidth_guarantee.cpp.o"
+  "CMakeFiles/bandwidth_guarantee.dir/bandwidth_guarantee.cpp.o.d"
+  "bandwidth_guarantee"
+  "bandwidth_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_gro_engine.dir/custom_gro_engine.cpp.o"
+  "CMakeFiles/custom_gro_engine.dir/custom_gro_engine.cpp.o.d"
+  "custom_gro_engine"
+  "custom_gro_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_gro_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_packet_load_balancing.dir/per_packet_load_balancing.cpp.o"
+  "CMakeFiles/per_packet_load_balancing.dir/per_packet_load_balancing.cpp.o.d"
+  "per_packet_load_balancing"
+  "per_packet_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_packet_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

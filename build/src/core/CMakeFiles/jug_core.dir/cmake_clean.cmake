@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_core.dir/juggler.cc.o"
+  "CMakeFiles/jug_core.dir/juggler.cc.o.d"
+  "libjug_core.a"
+  "libjug_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

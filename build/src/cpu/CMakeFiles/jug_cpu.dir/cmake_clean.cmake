@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_cpu.dir/cpu_core.cc.o"
+  "CMakeFiles/jug_cpu.dir/cpu_core.cc.o.d"
+  "libjug_cpu.a"
+  "libjug_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

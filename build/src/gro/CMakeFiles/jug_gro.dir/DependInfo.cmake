@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gro/baseline_gro.cc" "src/gro/CMakeFiles/jug_gro.dir/baseline_gro.cc.o" "gcc" "src/gro/CMakeFiles/jug_gro.dir/baseline_gro.cc.o.d"
+  "/root/repo/src/gro/gro_engine.cc" "src/gro/CMakeFiles/jug_gro.dir/gro_engine.cc.o" "gcc" "src/gro/CMakeFiles/jug_gro.dir/gro_engine.cc.o.d"
+  "/root/repo/src/gro/presto_gro.cc" "src/gro/CMakeFiles/jug_gro.dir/presto_gro.cc.o" "gcc" "src/gro/CMakeFiles/jug_gro.dir/presto_gro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/jug_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jug_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jug_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jug_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_gro.dir/baseline_gro.cc.o"
+  "CMakeFiles/jug_gro.dir/baseline_gro.cc.o.d"
+  "CMakeFiles/jug_gro.dir/gro_engine.cc.o"
+  "CMakeFiles/jug_gro.dir/gro_engine.cc.o.d"
+  "CMakeFiles/jug_gro.dir/presto_gro.cc.o"
+  "CMakeFiles/jug_gro.dir/presto_gro.cc.o.d"
+  "libjug_gro.a"
+  "libjug_gro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_gro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_net.dir/link.cc.o"
+  "CMakeFiles/jug_net.dir/link.cc.o.d"
+  "CMakeFiles/jug_net.dir/load_balancer.cc.o"
+  "CMakeFiles/jug_net.dir/load_balancer.cc.o.d"
+  "CMakeFiles/jug_net.dir/stages.cc.o"
+  "CMakeFiles/jug_net.dir/stages.cc.o.d"
+  "CMakeFiles/jug_net.dir/switch.cc.o"
+  "CMakeFiles/jug_net.dir/switch.cc.o.d"
+  "libjug_net.a"
+  "libjug_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

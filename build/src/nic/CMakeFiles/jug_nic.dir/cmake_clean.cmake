@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_nic.dir/nic_rx.cc.o"
+  "CMakeFiles/jug_nic.dir/nic_rx.cc.o.d"
+  "CMakeFiles/jug_nic.dir/nic_tx.cc.o"
+  "CMakeFiles/jug_nic.dir/nic_tx.cc.o.d"
+  "libjug_nic.a"
+  "libjug_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_packet.dir/packet.cc.o"
+  "CMakeFiles/jug_packet.dir/packet.cc.o.d"
+  "libjug_packet.a"
+  "libjug_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

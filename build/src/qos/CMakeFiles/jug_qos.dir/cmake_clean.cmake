@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_qos.dir/priority_controller.cc.o"
+  "CMakeFiles/jug_qos.dir/priority_controller.cc.o.d"
+  "libjug_qos.a"
+  "libjug_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

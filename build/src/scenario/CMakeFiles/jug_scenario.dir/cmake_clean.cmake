@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_scenario.dir/host.cc.o"
+  "CMakeFiles/jug_scenario.dir/host.cc.o.d"
+  "CMakeFiles/jug_scenario.dir/topologies.cc.o"
+  "CMakeFiles/jug_scenario.dir/topologies.cc.o.d"
+  "libjug_scenario.a"
+  "libjug_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_sim.dir/event_loop.cc.o"
+  "CMakeFiles/jug_sim.dir/event_loop.cc.o.d"
+  "libjug_sim.a"
+  "libjug_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_stats.dir/stats.cc.o"
+  "CMakeFiles/jug_stats.dir/stats.cc.o.d"
+  "CMakeFiles/jug_stats.dir/table_printer.cc.o"
+  "CMakeFiles/jug_stats.dir/table_printer.cc.o.d"
+  "libjug_stats.a"
+  "libjug_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

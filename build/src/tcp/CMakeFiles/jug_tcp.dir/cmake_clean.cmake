@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_tcp.dir/tcp_endpoint.cc.o"
+  "CMakeFiles/jug_tcp.dir/tcp_endpoint.cc.o.d"
+  "libjug_tcp.a"
+  "libjug_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

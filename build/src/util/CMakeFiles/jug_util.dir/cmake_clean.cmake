@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_util.dir/logging.cc.o"
+  "CMakeFiles/jug_util.dir/logging.cc.o.d"
+  "CMakeFiles/jug_util.dir/rng.cc.o"
+  "CMakeFiles/jug_util.dir/rng.cc.o.d"
+  "libjug_util.a"
+  "libjug_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

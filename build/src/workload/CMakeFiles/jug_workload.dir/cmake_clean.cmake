@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_workload.dir/message_stream.cc.o"
+  "CMakeFiles/jug_workload.dir/message_stream.cc.o.d"
+  "CMakeFiles/jug_workload.dir/rpc_generator.cc.o"
+  "CMakeFiles/jug_workload.dir/rpc_generator.cc.o.d"
+  "libjug_workload.a"
+  "libjug_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gro_baseline_test.dir/gro_baseline_test.cc.o"
+  "CMakeFiles/gro_baseline_test.dir/gro_baseline_test.cc.o.d"
+  "gro_baseline_test"
+  "gro_baseline_test.pdb"
+  "gro_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gro_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_test.dir/juggler_test.cc.o"
+  "CMakeFiles/juggler_test.dir/juggler_test.cc.o.d"
+  "juggler_test"
+  "juggler_test.pdb"
+  "juggler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_workload_test.dir/qos_workload_test.cc.o"
+  "CMakeFiles/qos_workload_test.dir/qos_workload_test.cc.o.d"
+  "qos_workload_test"
+  "qos_workload_test.pdb"
+  "qos_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

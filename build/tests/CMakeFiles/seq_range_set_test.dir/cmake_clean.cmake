@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_range_set_test.dir/seq_range_set_test.cc.o"
+  "CMakeFiles/seq_range_set_test.dir/seq_range_set_test.cc.o.d"
+  "seq_range_set_test"
+  "seq_range_set_test.pdb"
+  "seq_range_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_range_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
