@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/scenario/CMakeFiles/jug_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/jug_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/jug_core.dir/DependInfo.cmake"
   "/root/repo/build/src/gro/CMakeFiles/jug_gro.dir/DependInfo.cmake"
   "/root/repo/build/src/nic/CMakeFiles/jug_nic.dir/DependInfo.cmake"

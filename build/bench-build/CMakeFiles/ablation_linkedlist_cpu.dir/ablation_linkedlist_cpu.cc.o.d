@@ -138,14 +138,13 @@ bench-build/CMakeFiles/ablation_linkedlist_cpu.dir/ablation_linkedlist_cpu.cc.o:
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/time.h \
- /root/repo/src/tcp/tcp_endpoint.h /root/repo/src/nic/nic_tx.h \
- /root/repo/src/net/packet_sink.h /root/repo/src/packet/packet.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/tcp/tcp_endpoint.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/nic/nic_tx.h /root/repo/src/net/packet_sink.h \
+ /root/repo/src/packet/packet.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -230,7 +229,8 @@ bench-build/CMakeFiles/ablation_linkedlist_cpu.dir/ablation_linkedlist_cpu.cc.o:
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nic/nic_rx.h \
  /root/repo/src/cpu/cpu_core.h /root/repo/src/scenario/sampler.h \
- /root/repo/src/scenario/topologies.h /root/repo/src/net/link.h \
+ /root/repo/src/scenario/topologies.h /root/repo/src/fault/fault_stage.h \
+ /usr/include/c++/12/limits /root/repo/src/net/link.h \
  /root/repo/src/net/stages.h /root/repo/src/net/switch.h \
  /root/repo/src/net/load_balancer.h /root/repo/src/scenario/host.h \
  /root/repo/src/stats/stats.h /root/repo/src/stats/table_printer.h \

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/chaos_soak.cc" "bench-build/CMakeFiles/chaos_soak.dir/chaos_soak.cc.o" "gcc" "bench-build/CMakeFiles/chaos_soak.dir/chaos_soak.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/jug_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/jug_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jug_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gro/CMakeFiles/jug_gro.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/jug_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jug_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/jug_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/jug_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jug_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jug_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jug_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jug_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/jug_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jug_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

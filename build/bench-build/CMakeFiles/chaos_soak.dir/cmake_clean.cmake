@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/chaos_soak"
+  "../bench/chaos_soak.pdb"
+  "CMakeFiles/chaos_soak.dir/chaos_soak.cc.o"
+  "CMakeFiles/chaos_soak.dir/chaos_soak.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

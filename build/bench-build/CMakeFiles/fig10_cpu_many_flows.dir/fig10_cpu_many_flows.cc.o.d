@@ -209,18 +209,18 @@ bench-build/CMakeFiles/fig10_cpu_many_flows.dir/fig10_cpu_many_flows.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/time.h \
- /root/repo/src/tcp/tcp_endpoint.h /root/repo/src/nic/nic_tx.h \
- /root/repo/src/net/packet_sink.h /root/repo/src/packet/packet.h \
- /root/repo/src/util/seq.h /root/repo/src/util/seq_range_set.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/util/rng.h /root/repo/src/scenario/gro_factories.h \
- /root/repo/src/core/juggler.h /root/repo/src/cpu/cost_model.h \
- /root/repo/src/gro/gro_engine.h /root/repo/src/gro/segment_builder.h \
+ /root/repo/src/tcp/tcp_endpoint.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/nic/nic_tx.h /root/repo/src/net/packet_sink.h \
+ /root/repo/src/packet/packet.h /root/repo/src/util/seq.h \
+ /root/repo/src/util/seq_range_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.h \
+ /root/repo/src/scenario/gro_factories.h /root/repo/src/core/juggler.h \
+ /root/repo/src/cpu/cost_model.h /root/repo/src/gro/gro_engine.h \
+ /root/repo/src/gro/segment_builder.h \
  /root/repo/src/util/intrusive_list.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstddef \
  /root/repo/src/gro/baseline_gro.h /root/repo/src/gro/presto_gro.h \
@@ -228,7 +228,8 @@ bench-build/CMakeFiles/fig10_cpu_many_flows.dir/fig10_cpu_many_flows.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nic/nic_rx.h \
  /root/repo/src/cpu/cpu_core.h /root/repo/src/scenario/sampler.h \
- /root/repo/src/scenario/topologies.h /root/repo/src/net/link.h \
+ /root/repo/src/scenario/topologies.h /root/repo/src/fault/fault_stage.h \
+ /usr/include/c++/12/limits /root/repo/src/net/link.h \
  /root/repo/src/net/stages.h /root/repo/src/net/switch.h \
  /root/repo/src/net/load_balancer.h /root/repo/src/scenario/host.h \
  /root/repo/src/stats/stats.h /root/repo/src/stats/table_printer.h \

@@ -116,13 +116,12 @@ examples/CMakeFiles/bandwidth_guarantee.dir/bandwidth_guarantee.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/time.h \
- /root/repo/src/tcp/tcp_endpoint.h /usr/include/c++/12/string \
- /usr/include/c++/12/bits/stringfwd.h \
+ /root/repo/src/tcp/tcp_endpoint.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
@@ -231,6 +230,7 @@ examples/CMakeFiles/bandwidth_guarantee.dir/bandwidth_guarantee.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nic/nic_rx.h \
  /root/repo/src/cpu/cpu_core.h /root/repo/src/scenario/topologies.h \
+ /root/repo/src/fault/fault_stage.h /usr/include/c++/12/limits \
  /root/repo/src/net/link.h /root/repo/src/net/stages.h \
  /root/repo/src/net/switch.h /root/repo/src/net/load_balancer.h \
  /root/repo/src/scenario/host.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_runner.dir/chaos_runner.cpp.o"
+  "CMakeFiles/chaos_runner.dir/chaos_runner.cpp.o.d"
+  "chaos_runner"
+  "chaos_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

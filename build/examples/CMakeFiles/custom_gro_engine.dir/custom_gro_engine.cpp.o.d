@@ -221,11 +221,11 @@ examples/CMakeFiles/custom_gro_engine.dir/custom_gro_engine.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nic/nic_rx.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/cpu/cpu_core.h \
- /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/event_loop.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/net/packet_sink.h /root/repo/src/scenario/topologies.h \
- /root/repo/src/net/link.h /root/repo/src/util/rng.h \
+ /root/repo/src/fault/fault_stage.h /usr/include/c++/12/limits \
+ /root/repo/src/util/rng.h /root/repo/src/net/link.h \
  /root/repo/src/net/stages.h /root/repo/src/net/switch.h \
  /root/repo/src/net/load_balancer.h /root/repo/src/scenario/host.h \
  /root/repo/src/nic/nic_tx.h /root/repo/src/tcp/tcp_endpoint.h \

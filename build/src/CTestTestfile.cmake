@@ -14,6 +14,7 @@ subdirs("gro")
 subdirs("core")
 subdirs("nic")
 subdirs("tcp")
+subdirs("fault")
 subdirs("qos")
 subdirs("workload")
 subdirs("scenario")

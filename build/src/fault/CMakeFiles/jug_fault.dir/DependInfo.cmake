@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault_stage.cc" "src/fault/CMakeFiles/jug_fault.dir/fault_stage.cc.o" "gcc" "src/fault/CMakeFiles/jug_fault.dir/fault_stage.cc.o.d"
+  "/root/repo/src/fault/juggler_auditor.cc" "src/fault/CMakeFiles/jug_fault.dir/juggler_auditor.cc.o" "gcc" "src/fault/CMakeFiles/jug_fault.dir/juggler_auditor.cc.o.d"
+  "/root/repo/src/fault/link_flapper.cc" "src/fault/CMakeFiles/jug_fault.dir/link_flapper.cc.o" "gcc" "src/fault/CMakeFiles/jug_fault.dir/link_flapper.cc.o.d"
+  "/root/repo/src/fault/stream_integrity.cc" "src/fault/CMakeFiles/jug_fault.dir/stream_integrity.cc.o" "gcc" "src/fault/CMakeFiles/jug_fault.dir/stream_integrity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jug_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jug_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/jug_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/jug_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jug_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/jug_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jug_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gro/CMakeFiles/jug_gro.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jug_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

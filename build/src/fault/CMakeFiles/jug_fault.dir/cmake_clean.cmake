@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jug_fault.dir/fault_stage.cc.o"
+  "CMakeFiles/jug_fault.dir/fault_stage.cc.o.d"
+  "CMakeFiles/jug_fault.dir/juggler_auditor.cc.o"
+  "CMakeFiles/jug_fault.dir/juggler_auditor.cc.o.d"
+  "CMakeFiles/jug_fault.dir/link_flapper.cc.o"
+  "CMakeFiles/jug_fault.dir/link_flapper.cc.o.d"
+  "CMakeFiles/jug_fault.dir/stream_integrity.cc.o"
+  "CMakeFiles/jug_fault.dir/stream_integrity.cc.o.d"
+  "libjug_fault.a"
+  "libjug_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jug_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

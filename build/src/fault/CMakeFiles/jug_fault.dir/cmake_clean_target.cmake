@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjug_fault.a"
+)

@@ -213,7 +213,6 @@ src/net/CMakeFiles/jug_net.dir/link.cc.o: /root/repo/src/net/link.cc \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/util/seq.h \
  /root/repo/src/util/time.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \

@@ -212,7 +212,6 @@ src/net/CMakeFiles/jug_net.dir/switch.cc.o: /root/repo/src/net/switch.cc \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/seq.h \
  /root/repo/src/util/time.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
  /root/repo/src/net/load_balancer.h /usr/include/c++/12/cstddef \

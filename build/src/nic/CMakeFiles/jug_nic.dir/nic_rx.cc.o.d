@@ -210,8 +210,7 @@ src/nic/CMakeFiles/jug_nic.dir/nic_rx.cc.o: /root/repo/src/nic/nic_rx.cc \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/event_loop.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/gro/gro_engine.h \
  /root/repo/src/packet/packet.h /root/repo/src/util/seq.h \
  /root/repo/src/net/packet_sink.h /usr/include/c++/12/utility \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenario/chaos_scenario.cc" "src/scenario/CMakeFiles/jug_scenario.dir/chaos_scenario.cc.o" "gcc" "src/scenario/CMakeFiles/jug_scenario.dir/chaos_scenario.cc.o.d"
   "/root/repo/src/scenario/host.cc" "src/scenario/CMakeFiles/jug_scenario.dir/host.cc.o" "gcc" "src/scenario/CMakeFiles/jug_scenario.dir/host.cc.o.d"
   "/root/repo/src/scenario/topologies.cc" "src/scenario/CMakeFiles/jug_scenario.dir/topologies.cc.o" "gcc" "src/scenario/CMakeFiles/jug_scenario.dir/topologies.cc.o.d"
   )
@@ -15,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/jug_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/jug_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/gro/CMakeFiles/jug_gro.dir/DependInfo.cmake"
   "/root/repo/build/src/nic/CMakeFiles/jug_nic.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/jug_net.dir/DependInfo.cmake"

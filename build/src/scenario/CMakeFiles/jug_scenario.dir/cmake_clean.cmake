@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/jug_scenario.dir/chaos_scenario.cc.o"
+  "CMakeFiles/jug_scenario.dir/chaos_scenario.cc.o.d"
   "CMakeFiles/jug_scenario.dir/host.cc.o"
   "CMakeFiles/jug_scenario.dir/host.cc.o.d"
   "CMakeFiles/jug_scenario.dir/topologies.cc.o"

@@ -210,13 +210,12 @@ src/scenario/CMakeFiles/jug_scenario.dir/host.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/event_loop.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nic/nic_rx.h \
- /root/repo/src/gro/gro_engine.h /root/repo/src/packet/packet.h \
- /root/repo/src/util/seq.h /root/repo/src/net/packet_sink.h \
- /root/repo/src/nic/nic_tx.h /root/repo/src/tcp/tcp_endpoint.h \
- /root/repo/src/util/seq_range_set.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/logging.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/gro/gro_engine.h \
+ /root/repo/src/packet/packet.h /root/repo/src/util/seq.h \
+ /root/repo/src/net/packet_sink.h /root/repo/src/nic/nic_tx.h \
+ /root/repo/src/tcp/tcp_endpoint.h /root/repo/src/util/seq_range_set.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/logging.h

@@ -197,9 +197,8 @@ src/scenario/CMakeFiles/jug_scenario.dir/topologies.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/net/link.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet_sink.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/fault/fault_stage.h \
+ /usr/include/c++/12/limits /root/repo/src/net/packet_sink.h \
  /root/repo/src/packet/packet.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -213,9 +212,10 @@ src/scenario/CMakeFiles/jug_scenario.dir/topologies.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/seq.h \
  /root/repo/src/util/time.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
+ /root/repo/src/net/link.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/stages.h /root/repo/src/net/switch.h \
  /root/repo/src/net/load_balancer.h /usr/include/c++/12/cstddef \
  /root/repo/src/scenario/host.h /root/repo/src/cpu/cost_model.h \

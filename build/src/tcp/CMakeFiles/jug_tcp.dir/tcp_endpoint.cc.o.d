@@ -214,7 +214,6 @@ src/tcp/CMakeFiles/jug_tcp.dir/tcp_endpoint.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/util/seq.h \
  /root/repo/src/util/time.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/util/seq_range_set.h /usr/include/c++/12/utility \

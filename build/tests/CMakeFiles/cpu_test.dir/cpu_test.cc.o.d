@@ -295,7 +295,5 @@ tests/CMakeFiles/cpu_test.dir/cpu_test.cc.o: /root/repo/tests/cpu_test.cc \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cpu/cost_model.h /root/repo/src/util/time.h \
  /root/repo/src/cpu/cpu_core.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

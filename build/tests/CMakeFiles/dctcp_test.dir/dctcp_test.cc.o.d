@@ -297,8 +297,7 @@ tests/CMakeFiles/dctcp_test.dir/dctcp_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/packet_sink.h /root/repo/src/packet/packet.h \
  /root/repo/src/util/seq.h /root/repo/src/util/time.h \
- /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/event_loop.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
  /root/repo/src/net/load_balancer.h /root/repo/src/qos/srpt_prioritizer.h \
  /root/repo/src/tcp/tcp_endpoint.h /root/repo/src/nic/nic_tx.h \
@@ -309,6 +308,7 @@ tests/CMakeFiles/dctcp_test.dir/dctcp_test.cc.o: \
  /root/repo/src/util/intrusive_list.h /root/repo/src/gro/baseline_gro.h \
  /root/repo/src/gro/presto_gro.h /root/repo/src/nic/nic_rx.h \
  /root/repo/src/cpu/cpu_core.h /root/repo/src/scenario/sampler.h \
- /root/repo/src/scenario/topologies.h /root/repo/src/net/stages.h \
- /root/repo/src/net/switch.h /root/repo/src/scenario/host.h \
- /root/repo/src/stats/stats.h /root/repo/tests/test_util.h
+ /root/repo/src/scenario/topologies.h /root/repo/src/fault/fault_stage.h \
+ /root/repo/src/net/stages.h /root/repo/src/net/switch.h \
+ /root/repo/src/scenario/host.h /root/repo/src/stats/stats.h \
+ /root/repo/tests/test_util.h

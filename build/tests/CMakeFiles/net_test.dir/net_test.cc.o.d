@@ -297,9 +297,9 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/packet_sink.h /root/repo/src/packet/packet.h \
  /root/repo/src/util/seq.h /root/repo/src/util/time.h \
- /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/event_loop.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
  /root/repo/src/net/load_balancer.h /root/repo/src/net/stages.h \
- /root/repo/src/net/switch.h /root/repo/tests/test_util.h \
- /root/repo/src/cpu/cost_model.h /root/repo/src/gro/gro_engine.h
+ /root/repo/src/fault/fault_stage.h /root/repo/src/net/switch.h \
+ /root/repo/tests/test_util.h /root/repo/src/cpu/cost_model.h \
+ /root/repo/src/gro/gro_engine.h

@@ -301,7 +301,6 @@ tests/CMakeFiles/nic_test.dir/nic_test.cc.o: /root/repo/tests/nic_test.cc \
  /root/repo/src/nic/nic_rx.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/cpu/cpu_core.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/net/packet_sink.h /root/repo/src/nic/nic_tx.h \

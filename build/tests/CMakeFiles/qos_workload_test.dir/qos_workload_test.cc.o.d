@@ -294,14 +294,13 @@ tests/CMakeFiles/qos_workload_test.dir/qos_workload_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/qos/priority_controller.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/time.h \
- /root/repo/src/tcp/tcp_endpoint.h /root/repo/src/nic/nic_tx.h \
- /root/repo/src/net/packet_sink.h /root/repo/src/packet/packet.h \
- /root/repo/src/util/seq.h /root/repo/src/util/seq_range_set.h \
- /root/repo/src/util/rng.h /root/repo/src/workload/message_stream.h \
- /root/repo/src/stats/stats.h /root/repo/src/workload/rpc_generator.h \
- /root/repo/tests/test_util.h /root/repo/src/cpu/cost_model.h \
- /root/repo/src/gro/gro_engine.h
+ /root/repo/src/tcp/tcp_endpoint.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/nic/nic_tx.h /root/repo/src/net/packet_sink.h \
+ /root/repo/src/packet/packet.h /root/repo/src/util/seq.h \
+ /root/repo/src/util/seq_range_set.h /root/repo/src/util/rng.h \
+ /root/repo/src/workload/message_stream.h /root/repo/src/stats/stats.h \
+ /root/repo/src/workload/rpc_generator.h /root/repo/tests/test_util.h \
+ /root/repo/src/cpu/cost_model.h /root/repo/src/gro/gro_engine.h

@@ -301,13 +301,12 @@ tests/CMakeFiles/scenario_test.dir/scenario_test.cc.o: \
  /root/repo/src/gro/presto_gro.h /root/repo/src/nic/nic_rx.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/cpu/cpu_core.h \
- /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/event_loop.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/net/packet_sink.h /root/repo/src/scenario/sampler.h \
- /root/repo/src/scenario/topologies.h /root/repo/src/net/link.h \
- /root/repo/src/util/rng.h /root/repo/src/net/stages.h \
- /root/repo/src/net/switch.h /root/repo/src/net/load_balancer.h \
- /root/repo/src/scenario/host.h /root/repo/src/nic/nic_tx.h \
- /root/repo/src/tcp/tcp_endpoint.h /root/repo/src/util/seq_range_set.h \
- /root/repo/tests/test_util.h
+ /root/repo/src/scenario/topologies.h /root/repo/src/fault/fault_stage.h \
+ /root/repo/src/util/rng.h /root/repo/src/net/link.h \
+ /root/repo/src/net/stages.h /root/repo/src/net/switch.h \
+ /root/repo/src/net/load_balancer.h /root/repo/src/scenario/host.h \
+ /root/repo/src/nic/nic_tx.h /root/repo/src/tcp/tcp_endpoint.h \
+ /root/repo/src/util/seq_range_set.h /root/repo/tests/test_util.h

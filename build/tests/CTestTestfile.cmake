@@ -21,3 +21,5 @@ include("/root/repo/build/tests/dctcp_test[1]_include.cmake")
 include("/root/repo/build/tests/scenario_test[1]_include.cmake")
 include("/root/repo/build/tests/qos_workload_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_soak_test[1]_include.cmake")

@@ -84,6 +84,7 @@ FlowEntry* Juggler::CreateEntry(const FiveTuple& tuple, TimeNs* cost) {
   entry->key = tuple;
   entry->phase = FlowPhase::kBuildUp;
   entry->flush_timestamp = Now();
+  entry->generation = jstats_.flows_created + 1;
   table_.emplace(tuple, std::move(owned));
   active_list_.PushBack(entry);
   ++jstats_.flows_created;
@@ -119,6 +120,7 @@ TimeNs Juggler::FlushAll(FlowEntry* entry, FlushReason reason) {
   TimeNs cost = 0;
   for (auto& run : entry->ooo_queue) {
     entry->seq_next = run.end_seq();
+    jstats_.buffered_bytes_out += run.payload_len();
     Deliver(run.Take(), reason);
     cost += costs_->gro_flush_per_segment;
   }
@@ -139,6 +141,7 @@ TimeNs Juggler::FlushPrefix(FlowEntry* entry, bool ready_only, FlushReason reaso
     entry->seq_next = run.end_seq();
     const FlushReason r =
         ready_only ? (run.needs_flush() ? FlushReason::kFlags : FlushReason::kSizeLimit) : reason;
+    jstats_.buffered_bytes_out += run.payload_len();
     Deliver(run.Take(), r);
     queue.erase(queue.begin());
     cost += costs_->gro_flush_per_segment;
@@ -190,6 +193,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
     switch (queue.front().TryMerge(p, max_payload)) {
       case SegmentBuilder::MergeResult::kMerged:
       case SegmentBuilder::MergeResult::kMergedFinal:
+        jstats_.buffered_bytes_in += p.payload_len;
         CoalesceForward(&queue, 0, max_payload);
         return cost;
       default:
@@ -202,6 +206,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
     }
     queue.emplace_back();
     queue.back().Start(p);
+    jstats_.buffered_bytes_in += p.payload_len;
     return cost;
   }
 
@@ -227,6 +232,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
       switch (prev.TryMerge(p, max_payload)) {
         case SegmentBuilder::MergeResult::kMerged:
         case SegmentBuilder::MergeResult::kMergedFinal:
+          jstats_.buffered_bytes_in += p.payload_len;
           CoalesceForward(&queue, idx - 1, max_payload);
           return cost;
         default:
@@ -244,6 +250,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
   SegmentBuilder fresh;
   fresh.Start(p);
   queue.insert(queue.begin() + static_cast<long>(idx), std::move(fresh));
+  jstats_.buffered_bytes_in += p.payload_len;
   CoalesceForward(&queue, idx, max_payload);
   return cost;
 }
@@ -390,6 +397,48 @@ void Juggler::RearmTimer() {
     armed_deadline_ = earliest;
     ArmTimer(earliest);
   }
+}
+
+Juggler::AuditView Juggler::Audit() const {
+  AuditView view;
+  view.active_len = active_list_.size();
+  view.inactive_len = inactive_list_.size();
+  view.loss_len = loss_list_.size();
+  view.table_size = table_.size();
+  view.armed_deadline = armed_deadline_;
+  view.buffered_bytes_in = jstats_.buffered_bytes_in;
+  view.buffered_bytes_out = jstats_.buffered_bytes_out;
+
+  // Physical list membership, discovered by walking the lists (not trusted
+  // from entry->phase — the whole point is to catch disagreement).
+  std::unordered_map<const FlowEntry*, ListId> membership;
+  const FlowList* lists[] = {&active_list_, &inactive_list_, &loss_list_};
+  const ListId ids[] = {ListId::kActive, ListId::kInactive, ListId::kLoss};
+  for (int l = 0; l < 3; ++l) {
+    for (const FlowEntry* entry : *const_cast<FlowList*>(lists[l])) {
+      membership.emplace(entry, ids[l]);
+    }
+  }
+
+  view.flows.reserve(table_.size());
+  for (const auto& [key, entry] : table_) {
+    AuditView::Flow f;
+    f.key = key;
+    f.phase = entry->phase;
+    auto it = membership.find(entry.get());
+    f.list = it == membership.end() ? ListId::kNone : it->second;
+    f.generation = entry->generation;
+    f.seq_next = entry->seq_next;
+    f.lost_seq = entry->lost_seq;
+    f.buffered_bytes = 0;
+    for (const auto& run : entry->ooo_queue) {
+      f.buffered_bytes += run.payload_len();
+    }
+    f.queue_runs = entry->ooo_queue.size();
+    f.flush_timestamp = entry->flush_timestamp;
+    view.flows.push_back(f);
+  }
+  return view;
 }
 
 std::vector<Juggler::FlowSnapshot> Juggler::DebugSnapshot() const {

@@ -80,6 +80,9 @@ struct FlowEntry {
   TimeNs flush_timestamp = 0;
   Seq seq_next = 0;
   Seq lost_seq = 0;
+  // Distinguishes reincarnations of the same five-tuple after eviction, so
+  // auditors tracking per-flow history don't compare across generations.
+  uint64_t generation = 0;
   IntrusiveListNode list_node;
 };
 
@@ -95,6 +98,10 @@ struct JugglerStats {
   uint64_t loss_recovery_exits = 0;
   uint64_t duplicate_packets = 0;  // overlapped an existing buffered run
   size_t max_active_list_len = 0;
+  // Conservation-law counters for the invariant auditor: every payload byte
+  // entering an OOO queue must leave it through a Deliver (in == out + held).
+  uint64_t buffered_bytes_in = 0;
+  uint64_t buffered_bytes_out = 0;
 };
 
 class Juggler : public GroEngine {
@@ -125,6 +132,36 @@ class Juggler : public GroEngine {
     TimeNs since_flush;
   };
   std::vector<FlowSnapshot> DebugSnapshot() const;
+
+  // Structural snapshot for the fault layer's invariant auditor: every table
+  // entry annotated with the list it is physically linked on (found by
+  // walking the three lists, independently of entry->phase, so list/phase
+  // disagreement is observable), plus the engine-wide conservation counters.
+  enum class ListId : int { kNone = -1, kActive = 0, kInactive = 1, kLoss = 2 };
+  struct AuditView {
+    struct Flow {
+      FiveTuple key;
+      FlowPhase phase;
+      ListId list;          // list the entry was found on; kNone = orphaned
+      uint64_t generation;
+      Seq seq_next;
+      Seq lost_seq;
+      uint64_t buffered_bytes;  // payload held in the OOO queue
+      size_t queue_runs;
+      TimeNs flush_timestamp;
+    };
+    std::vector<Flow> flows;
+    size_t active_len = 0;
+    size_t inactive_len = 0;
+    size_t loss_len = 0;
+    size_t table_size = 0;
+    TimeNs armed_deadline = kNoTimer;
+    uint64_t buffered_bytes_in = 0;
+    uint64_t buffered_bytes_out = 0;
+  };
+  AuditView Audit() const;
+
+  TimeNs armed_deadline() const { return armed_deadline_; }
 
  private:
   using FlowList = IntrusiveList<FlowEntry, &FlowEntry::list_node>;

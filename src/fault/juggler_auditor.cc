@@ -1,0 +1,129 @@
+#include "src/fault/juggler_auditor.h"
+
+#include <unordered_set>
+
+#include "src/util/logging.h"
+#include "src/util/seq.h"
+
+namespace juggler {
+
+namespace {
+std::string FlowName(const FiveTuple& t) {
+  return std::to_string(t.src_ip) + ":" + std::to_string(t.src_port) + ">" +
+         std::to_string(t.dst_ip) + ":" + std::to_string(t.dst_port);
+}
+}  // namespace
+
+JugglerAuditor::JugglerAuditor(std::unique_ptr<Juggler> inner, AuditLog* log)
+    : inner_(std::move(inner)), log_(log) {
+  JUG_CHECK(inner_ != nullptr && log_ != nullptr);
+}
+
+void JugglerAuditor::set_context(Context ctx) {
+  ctx_ = ctx;
+  inner_->set_context(std::move(ctx));
+}
+
+TimeNs JugglerAuditor::Receive(PacketPtr packet) {
+  const TimeNs cost = inner_->Receive(std::move(packet));
+  stats_ = inner_->stats();
+  return cost;
+}
+
+TimeNs JugglerAuditor::PollComplete() {
+  const TimeNs cost = inner_->PollComplete();
+  stats_ = inner_->stats();
+  CheckInvariants("poll");
+  return cost;
+}
+
+TimeNs JugglerAuditor::OnTimer() {
+  const TimeNs cost = inner_->OnTimer();
+  stats_ = inner_->stats();
+  CheckInvariants("timer");
+  return cost;
+}
+
+void JugglerAuditor::CheckInvariants(const char* when) {
+  ++audits_;
+  const Juggler::AuditView view = inner_->Audit();
+  const std::string tag = std::string("juggler-audit/") + when;
+
+  if (view.active_len + view.inactive_len + view.loss_len != view.table_size) {
+    log_->Violation(tag, "list lengths " + std::to_string(view.active_len) + "+" +
+                             std::to_string(view.inactive_len) + "+" +
+                             std::to_string(view.loss_len) + " != table size " +
+                             std::to_string(view.table_size));
+  }
+
+  uint64_t held_bytes = 0;
+  bool any_buffered = false;
+  std::unordered_set<FiveTuple, FiveTupleHash> live_keys;
+  for (const auto& flow : view.flows) {
+    live_keys.insert(flow.key);
+    held_bytes += flow.buffered_bytes;
+    if (flow.queue_runs > 0) {
+      any_buffered = true;
+    }
+
+    if (flow.list == Juggler::ListId::kNone) {
+      log_->Violation(tag, "flow " + FlowName(flow.key) + " linked on no list");
+    } else {
+      const Juggler::ListId want =
+          flow.phase == FlowPhase::kPostMerge
+              ? Juggler::ListId::kInactive
+              : (flow.phase == FlowPhase::kLossRecovery ? Juggler::ListId::kLoss
+                                                        : Juggler::ListId::kActive);
+      if (flow.list != want) {
+        log_->Violation(tag, "flow " + FlowName(flow.key) + " in phase " +
+                                 FlowPhaseName(flow.phase) + " on list " +
+                                 std::to_string(static_cast<int>(flow.list)));
+      }
+    }
+
+    if (flow.phase == FlowPhase::kPostMerge && flow.queue_runs != 0) {
+      log_->Violation(tag, "post-merge flow " + FlowName(flow.key) + " still buffers " +
+                               std::to_string(flow.queue_runs) + " runs");
+    }
+
+    // seq_next monotonicity outside build-up (§4.2.3). Records are per
+    // generation so a reincarnated flow starts a fresh history.
+    if (flow.phase != FlowPhase::kBuildUp) {
+      auto [it, inserted] =
+          last_seq_next_.try_emplace(flow.key, flow.generation, flow.seq_next);
+      if (!inserted) {
+        if (it->second.first == flow.generation &&
+            SeqBefore(flow.seq_next, it->second.second)) {
+          log_->Violation(tag, "flow " + FlowName(flow.key) +
+                                   " seq_next moved backwards: " +
+                                   std::to_string(flow.seq_next) + " < " +
+                                   std::to_string(it->second.second));
+        }
+        it->second = {flow.generation, flow.seq_next};
+      }
+    }
+  }
+
+  // Drop history for evicted flows so the map stays bounded by table size.
+  std::erase_if(last_seq_next_,
+                [&live_keys](const auto& kv) { return !live_keys.contains(kv.first); });
+
+  if (view.buffered_bytes_in != view.buffered_bytes_out + held_bytes) {
+    log_->Violation(tag, "byte conservation broken: in " +
+                             std::to_string(view.buffered_bytes_in) + " != out " +
+                             std::to_string(view.buffered_bytes_out) + " + held " +
+                             std::to_string(held_bytes));
+  }
+
+  if (any_buffered && view.armed_deadline == kNoTimer) {
+    log_->Violation(tag, "buffered data pending but no timer armed");
+  }
+}
+
+NicRx::GroFactory MakeAuditedJugglerFactory(JugglerConfig config, AuditLog* log) {
+  return [config, log](const CpuCostModel* costs) -> std::unique_ptr<GroEngine> {
+    return std::make_unique<JugglerAuditor>(std::make_unique<Juggler>(costs, config), log);
+  };
+}
+
+}  // namespace juggler

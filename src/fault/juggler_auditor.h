@@ -1,0 +1,72 @@
+// Structural invariant auditing for Juggler's gro_table.
+//
+// JugglerAuditor is a GroEngine decorator: it forwards every call to an
+// inner Juggler and, after each poll completion and timer callback, audits
+// the engine's internal structure via Juggler::Audit():
+//
+//   * every table entry is linked on exactly one of the three lists, and
+//     list lengths sum to the table size (no orphans, no double-links),
+//   * the list an entry is physically on agrees with its phase
+//     (build-up/active-merging -> active, post-merge -> inactive,
+//     loss-recovery -> loss), per Figure 4,
+//   * post-merge flows hold no buffered runs (the "safe to evict" claim),
+//   * seq_next never moves backwards outside the build-up phase (§4.2.3),
+//     tracked per flow generation so reincarnations after eviction are not
+//     compared against their predecessors,
+//   * byte conservation: buffered_bytes_in == buffered_bytes_out + bytes
+//     currently held across all OOO queues (nothing leaks on eviction,
+//     flush, or coalescing),
+//   * the high-resolution timer is armed whenever any flow holds buffered
+//     data (a pending deadline with no timer would strand bytes forever).
+//
+// Violations are recorded in the shared AuditLog; the run continues.
+
+#ifndef JUGGLER_SRC_FAULT_JUGGLER_AUDITOR_H_
+#define JUGGLER_SRC_FAULT_JUGGLER_AUDITOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/juggler.h"
+#include "src/fault/audit_log.h"
+#include "src/nic/nic_rx.h"
+
+namespace juggler {
+
+class JugglerAuditor : public GroEngine {
+ public:
+  JugglerAuditor(std::unique_ptr<Juggler> inner, AuditLog* log);
+
+  // Interposes a pass-through context so the inner engine's deliveries and
+  // timer arms reach the host unchanged.
+  void set_context(Context ctx) override;
+
+  TimeNs Receive(PacketPtr packet) override;
+  TimeNs PollComplete() override;
+  TimeNs OnTimer() override;
+  std::string name() const override { return "juggler+audit"; }
+
+  Juggler* inner() { return inner_.get(); }
+  uint64_t audits() const { return audits_; }
+
+ private:
+  void CheckInvariants(const char* when);
+
+  std::unique_ptr<Juggler> inner_;
+  AuditLog* log_;
+  uint64_t audits_ = 0;
+  // Last observed (generation, seq_next) per flow, for the monotonicity
+  // check. Entries for evicted flows are dropped as they disappear from the
+  // audit view.
+  std::unordered_map<FiveTuple, std::pair<uint64_t, Seq>, FiveTupleHash> last_seq_next_;
+};
+
+// A Juggler factory whose engines are wrapped in auditors sharing `log`.
+NicRx::GroFactory MakeAuditedJugglerFactory(JugglerConfig config, AuditLog* log);
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_FAULT_JUGGLER_AUDITOR_H_

@@ -1,0 +1,83 @@
+#include "src/fault/link_flapper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+LinkFlapper::LinkFlapper(EventLoop* loop, Link* link, std::vector<FlapWindow> windows)
+    : loop_(loop), link_(link), windows_(std::move(windows)),
+      original_rate_bps_(link->rate_bps()),
+      original_queue_limit_bytes_(link->queue_limit_bytes()) {
+  JUG_CHECK(loop_ != nullptr && link_ != nullptr);
+  for (const FlapWindow& w : windows_) {
+    JUG_CHECK(w.up_at > w.down_at);
+    JUG_CHECK(w.degraded_rate_bps >= 0);
+  }
+}
+
+void LinkFlapper::Start() {
+  JUG_CHECK(!started_);
+  started_ = true;
+  for (const FlapWindow& w : windows_) {
+    const TimeNs now = loop_->now();
+    JUG_CHECK(w.down_at >= now);
+    loop_->Schedule(w.down_at - now, [this, w] { Apply(w); });
+    loop_->Schedule(w.up_at - now, [this, w] { Restore(w); });
+  }
+}
+
+void LinkFlapper::Apply(const FlapWindow& w) {
+  ++flaps_started_;
+  if (w.degraded_rate_bps == 0) {
+    link_->SetDown();
+  } else {
+    link_->set_rate_bps(w.degraded_rate_bps);
+    if (w.degraded_queue_limit_bytes > 0) {
+      link_->set_queue_limit_bytes(w.degraded_queue_limit_bytes);
+    }
+  }
+}
+
+void LinkFlapper::Restore(const FlapWindow& w) {
+  ++flaps_finished_;
+  if (w.degraded_rate_bps == 0) {
+    link_->SetUp();
+  } else {
+    link_->set_rate_bps(original_rate_bps_);
+    link_->set_queue_limit_bytes(original_queue_limit_bytes_);
+  }
+}
+
+std::vector<FlapWindow> LinkFlapper::MakeRandomWindows(Rng* rng, TimeNs horizon, int count,
+                                                       TimeNs min_down, TimeNs max_down,
+                                                       bool blackhole, int64_t full_rate_bps) {
+  JUG_CHECK(count >= 0 && horizon > 0 && min_down > 0 && max_down >= min_down);
+  std::vector<FlapWindow> windows;
+  windows.reserve(static_cast<size_t>(count));
+  // Leave the first eighth of the run fault-free so connections establish.
+  TimeNs cursor = horizon / 8;
+  for (int i = 0; i < count; ++i) {
+    const TimeNs len = rng->NextInRange(min_down, max_down);
+    const TimeNs slack = horizon > cursor + len ? (horizon - cursor - len) / (count - i) : 0;
+    const TimeNs start = cursor + (slack > 0 ? rng->NextBounded(static_cast<uint64_t>(slack)) : 0);
+    FlapWindow w;
+    w.down_at = start;
+    w.up_at = start + len;
+    if (!blackhole) {
+      // Brown-out to 5%..50% of line rate.
+      const int64_t lo = std::max<int64_t>(1, full_rate_bps / 20);
+      const int64_t hi = std::max<int64_t>(lo, full_rate_bps / 2);
+      w.degraded_rate_bps = rng->NextInRange(lo, hi);
+    }
+    windows.push_back(w);
+    // Enforce a gap so the link (and TCP's RTO clock) can breathe between
+    // consecutive windows.
+    cursor = w.up_at + len;
+  }
+  return windows;
+}
+
+}  // namespace juggler

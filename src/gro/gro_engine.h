@@ -82,7 +82,9 @@ class GroEngine {
 
   virtual ~GroEngine() = default;
 
-  void set_context(Context ctx) { ctx_ = std::move(ctx); }
+  // Virtual so decorating engines (e.g. the fault layer's JugglerAuditor)
+  // can interpose their own context around an inner engine's.
+  virtual void set_context(Context ctx) { ctx_ = std::move(ctx); }
 
   // Process one packet. Ownership transfers to the engine.
   virtual TimeNs Receive(PacketPtr packet) = 0;

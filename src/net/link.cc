@@ -1,5 +1,6 @@
 #include "src/net/link.h"
 
+#include <memory>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -14,11 +15,46 @@ Link::Link(EventLoop* loop, std::string name, const LinkConfig& config, PacketSi
       red_rng_(config.red_seed) {
   JUG_CHECK(config_.num_priorities >= 1);
   JUG_CHECK(config_.rate_bps > 0);
+  if (config_.red) {
+    // red_max_fill == red_min_fill would divide by zero in the ramp below.
+    JUG_CHECK(config_.red_min_fill >= 0.0 && config_.red_min_fill <= 1.0);
+    JUG_CHECK(config_.red_max_fill >= 0.0 && config_.red_max_fill <= 1.0);
+    JUG_CHECK(config_.red_max_fill > config_.red_min_fill);
+    JUG_CHECK(config_.red_pmax >= 0.0 && config_.red_pmax <= 1.0);
+  }
+  if (config_.ecn) {
+    JUG_CHECK(config_.ecn_threshold_fill >= 0.0 && config_.ecn_threshold_fill <= 1.0);
+  }
   queues_.resize(static_cast<size_t>(config_.num_priorities));
   queued_bytes_.resize(static_cast<size_t>(config_.num_priorities), 0);
 }
 
+void Link::SetDown() {
+  if (down_) {
+    return;
+  }
+  down_ = true;
+  ++stats_.down_transitions;
+}
+
+void Link::SetUp() {
+  if (!down_) {
+    return;
+  }
+  down_ = false;
+  StartNextIfIdle();
+}
+
+void Link::set_rate_bps(int64_t rate_bps) {
+  JUG_CHECK(rate_bps > 0);
+  config_.rate_bps = rate_bps;
+}
+
 void Link::Accept(PacketPtr packet) {
+  if (down_) {
+    ++stats_.down_drops;
+    return;  // blackhole while the port is down
+  }
   size_t level = static_cast<size_t>(packet->priority);
   if (level >= queues_.size()) {
     level = queues_.size() - 1;  // single-FIFO links ignore priority
@@ -60,7 +96,7 @@ void Link::Accept(PacketPtr packet) {
 }
 
 void Link::StartNextIfIdle() {
-  if (transmitting_) {
+  if (transmitting_ || down_) {
     return;
   }
   for (size_t level = 0; level < queues_.size(); ++level) {
@@ -85,10 +121,12 @@ void Link::OnTransmitDone() {
   stats_.bytes_tx += static_cast<uint64_t>(wire);
   transmitting_ = false;
   if (config_.propagation_delay > 0) {
-    // Hand the packet off after flight time; release it into the closure.
+    // Hand the packet off after flight time. The shared holder keeps the
+    // callback copyable and frees the packet if the loop dies first.
     PacketSink* sink = sink_;
-    Packet* raw = packet.release();
-    loop_->Schedule(config_.propagation_delay, [sink, raw] { sink->Accept(PacketPtr(raw)); });
+    auto held = std::make_shared<PacketPtr>(std::move(packet));
+    loop_->Schedule(config_.propagation_delay,
+                    [sink, held] { sink->Accept(std::move(*held)); });
   } else {
     sink_->Accept(std::move(packet));
   }

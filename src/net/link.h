@@ -52,6 +52,8 @@ struct LinkStats {
   uint64_t drops = 0;
   uint64_t red_drops = 0;
   uint64_t ecn_marks = 0;
+  uint64_t down_drops = 0;    // arrivals blackholed while the link was down
+  uint64_t down_transitions = 0;
   int64_t max_queue_bytes = 0;
 };
 
@@ -61,10 +63,25 @@ class Link : public PacketSink {
 
   void Accept(PacketPtr packet) override;
 
+  // ---- failure modeling (fault-injection layer) ----
+  //
+  // SetDown() blackholes the port: arriving packets are dropped and the
+  // serializer pauses after the in-flight frame drains; queued packets wait.
+  // SetUp() resumes service. Both are idempotent. set_rate_bps /
+  // set_queue_limit_bytes degrade the port at runtime (new values apply from
+  // the next serialization / arrival), so load-balanced paths can flap or
+  // brown-out mid-run.
+  void SetDown();
+  void SetUp();
+  bool is_down() const { return down_; }
+  void set_rate_bps(int64_t rate_bps);
+  void set_queue_limit_bytes(int64_t limit) { config_.queue_limit_bytes = limit; }
+
   int64_t queued_bytes() const { return total_queued_bytes_; }
   const LinkStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   int64_t rate_bps() const { return config_.rate_bps; }
+  int64_t queue_limit_bytes() const { return config_.queue_limit_bytes; }
 
  private:
   void StartNextIfIdle();
@@ -74,6 +91,7 @@ class Link : public PacketSink {
   std::string name_;
   LinkConfig config_;
   PacketSink* sink_;
+  bool down_ = false;
 
   // One FIFO per priority level; level 0 (kHigh) served first.
   std::vector<std::deque<PacketPtr>> queues_;

@@ -1,5 +1,6 @@
 #include "src/net/stages.h"
 
+#include <memory>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -23,8 +24,10 @@ void ReorderStage::Accept(PacketPtr packet) {
   }
   lane_last_out_[lane] = out;
   PacketSink* sink = sink_;
-  Packet* raw = packet.release();
-  loop_->ScheduleAt(out, [sink, raw] { sink->Accept(PacketPtr(raw)); });
+  // Shared holder keeps the callback copyable while still freeing the packet
+  // if the loop is destroyed before the event fires.
+  auto held = std::make_shared<PacketPtr>(std::move(packet));
+  loop_->ScheduleAt(out, [sink, held] { sink->Accept(std::move(*held)); });
 }
 
 }  // namespace juggler

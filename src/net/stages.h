@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "src/fault/fault_stage.h"
 #include "src/net/packet_sink.h"
 #include "src/sim/event_loop.h"
 #include "src/util/rng.h"
@@ -36,27 +37,15 @@ class ReorderStage : public PacketSink {
 };
 
 // Drops each packet independently with probability `drop_prob` (the 0.1%
-// loss injection of Figure 14).
-class DropStage : public PacketSink {
+// loss injection of Figure 14). Folded into the fault layer's FaultStage: a
+// clockless stage with a uniform-drop timeline draws the same single
+// Bernoulli trial per packet the standalone implementation did, so existing
+// seeds reproduce the same drop pattern.
+class DropStage : public FaultStage {
  public:
   DropStage(double drop_prob, uint64_t seed, PacketSink* sink)
-      : drop_prob_(drop_prob), rng_(seed), sink_(sink) {}
-
-  void Accept(PacketPtr packet) override {
-    if (rng_.NextBool(drop_prob_)) {
-      ++drops_;
-      return;
-    }
-    sink_->Accept(std::move(packet));
-  }
-
-  uint64_t drops() const { return drops_; }
-
- private:
-  double drop_prob_;
-  Rng rng_;
-  PacketSink* sink_;
-  uint64_t drops_ = 0;
+      : FaultStage(/*loop=*/nullptr, "drop", FaultTimeline::UniformDrop(drop_prob), seed,
+                   sink) {}
 };
 
 }  // namespace juggler

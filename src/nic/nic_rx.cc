@@ -38,6 +38,11 @@ NicRx::~NicRx() = default;
 
 void NicRx::Accept(PacketPtr packet) {
   ++stats_.packets_in;
+  if (packet->corrupted) {
+    // Hardware checksum/FCS validation: bad frames never reach the ring.
+    ++stats_.checksum_drops;
+    return;
+  }
   size_t index;
   if (config_.force_queue >= 0) {
     index = static_cast<size_t>(config_.force_queue) % queues_.size();

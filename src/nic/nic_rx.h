@@ -59,6 +59,7 @@ struct NicRxConfig {
 struct NicRxStats {
   uint64_t packets_in = 0;
   uint64_t ring_drops = 0;
+  uint64_t checksum_drops = 0;  // corrupted frames discarded at validation
   uint64_t interrupts = 0;
   uint64_t polls = 0;
 };

@@ -1,5 +1,6 @@
 #include "src/nic/nic_tx.h"
 
+#include <memory>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -62,8 +63,8 @@ void NicTx::Transmit(PacketPtr packet) {
     return;
   }
   PacketSink* wire = wire_;
-  Packet* raw = packet.release();
-  loop_->ScheduleAt(release, [wire, raw] { wire->Accept(PacketPtr(raw)); });
+  auto held = std::make_shared<PacketPtr>(std::move(packet));
+  loop_->ScheduleAt(release, [wire, held] { wire->Accept(std::move(*held)); });
 }
 
 }  // namespace juggler

@@ -107,6 +107,12 @@ struct Packet {
   uint32_t options_token = 0;
   bool ce_mark = false;
 
+  // Set by fault injection when the frame's payload/header was corrupted (or
+  // the frame truncated) in flight. The receiving NIC's checksum validation
+  // discards such frames before they reach the driver, exactly as real
+  // hardware drops bad-FCS frames — the stack only ever sees the loss.
+  bool corrupted = false;
+
   Priority priority = Priority::kLow;
 
   // Per-TSO load balancing (Presto-style flowcells): all MTUs cut from one

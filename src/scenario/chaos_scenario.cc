@@ -1,0 +1,257 @@
+#include "src/scenario/chaos_scenario.h"
+
+#include <utility>
+
+#include "src/fault/audit_log.h"
+#include "src/fault/juggler_auditor.h"
+#include "src/fault/link_flapper.h"
+#include "src/fault/stream_integrity.h"
+#include "src/scenario/gro_factories.h"
+#include "src/scenario/topologies.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace juggler {
+namespace {
+
+// FNV-1a, folded over every counter that must reproduce bit-identically.
+struct Digest {
+  uint64_t h = 1469598103934665603ULL;
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+};
+
+FaultProfile DropBurstProfile(Rng* rng) {
+  FaultProfile p;
+  p.burst_prob = 0.002 + rng->NextDouble() * 0.004;
+  p.burst_len_min = 2;
+  p.burst_len_max = 2 + static_cast<int>(rng->NextBounded(5));
+  p.drop_prob = rng->NextDouble() * 0.002;
+  return p;
+}
+
+FaultProfile DuplicateProfile(Rng* rng) {
+  FaultProfile p;
+  p.dup_prob = 0.02 + rng->NextDouble() * 0.06;
+  return p;
+}
+
+FaultProfile CorruptProfile(Rng* rng) {
+  FaultProfile p;
+  p.corrupt_prob = 0.005 + rng->NextDouble() * 0.01;
+  p.truncate_prob = rng->NextDouble() * 0.005;
+  return p;
+}
+
+FaultProfile DelaySpikeProfile(Rng* rng) {
+  FaultProfile p;
+  p.delay_prob = 0.01 + rng->NextDouble() * 0.03;
+  p.delay_min = Us(100);
+  p.delay_max = Us(100) + rng->NextInRange(Us(200), Us(700));
+  return p;
+}
+
+ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
+  ChaosEngineResult r;
+  r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
+
+  SimWorld world;
+  AuditLog log;
+
+  NetFpgaOptions nopt;
+  nopt.reorder_delay = opt.reorder_delay;
+  nopt.seed = opt.seed * 2654435761ULL + static_cast<uint64_t>(opt.family);
+  nopt.sender.rx.int_coalesce = Us(125);
+  nopt.sender.gro_factory = MakeStandardGroFactory();
+  nopt.receiver.rx.int_coalesce = Us(125);
+
+  JugglerConfig jcfg;
+  jcfg.inseq_timeout = Us(52);
+  jcfg.ofo_timeout = Us(300);
+  if (use_juggler) {
+    nopt.receiver.gro_factory =
+        opt.audit ? MakeAuditedJugglerFactory(jcfg, &log) : MakeJugglerFactory(jcfg);
+  } else {
+    nopt.receiver.gro_factory = MakeStandardGroFactory();
+  }
+
+  // Anchor fault windows to the transfer's nominal duration at line rate —
+  // anchoring to the (generous) time budget would schedule every fault after
+  // the last byte already landed.
+  const TimeNs nominal = static_cast<TimeNs>(
+      static_cast<int64_t>(opt.transfer_bytes) * 8 * 1'000'000'000LL / nopt.link_rate_bps);
+  if (opt.family != FaultFamily::kLinkFlap) {
+    // 12x the line-rate duration: the transfer is congestion-limited (more
+    // so for the baseline engine under reordering), so faults must stay
+    // active across the real, much longer, delivery timeline.
+    nopt.faults = MakeChaosTimeline(opt.family, opt.seed, /*horizon=*/nominal * 12,
+                                    opt.num_windows);
+  }
+
+  NetFpgaTestbed t = BuildNetFpga(&world, nopt);
+
+  // Link flaps: blackhole windows on the forward path, short relative to
+  // TCP's max RTO (200ms) so the sender always recovers.
+  std::unique_ptr<LinkFlapper> flapper;
+  if (opt.family == FaultFamily::kLinkFlap || opt.family == FaultFamily::kMixed) {
+    Rng flap_rng(opt.seed * 40503 + 271);
+    const bool blackhole = opt.family == FaultFamily::kLinkFlap || flap_rng.NextBool(0.5);
+    auto windows = LinkFlapper::MakeRandomWindows(
+        &flap_rng, /*horizon=*/nominal,
+        /*count=*/opt.family == FaultFamily::kLinkFlap ? 3 : 1,
+        /*min_down=*/Ms(2), /*max_down=*/Ms(12), blackhole, t.fwd_link->rate_bps());
+    flapper = std::make_unique<LinkFlapper>(&world.loop, t.fwd_link, std::move(windows));
+    flapper->Start();
+  }
+
+  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+
+  StreamIntegrityChecker integrity(r.engine + "/stream", &log);
+  integrity.Attach(pair.b_to_a);
+  integrity.set_expected_bytes(opt.transfer_bytes);
+
+  pair.a_to_b->Send(opt.transfer_bytes);
+
+  while (world.loop.now() < opt.time_limit &&
+         pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
+    world.loop.RunUntil(world.loop.now() + Ms(10));
+  }
+  // Let the tail drain (final ACKs, pending GRO flushes, late duplicates).
+  world.loop.RunUntil(world.loop.now() + Ms(5));
+
+  r.bytes_delivered = pair.b_to_a->bytes_delivered();
+  r.completed = r.bytes_delivered == opt.transfer_bytes;
+  r.finish_time = world.loop.now();
+  integrity.FinalCheck();
+  if (!r.completed) {
+    log.Violation(r.engine, "transfer incomplete: " + std::to_string(r.bytes_delivered) +
+                                " of " + std::to_string(opt.transfer_bytes) + " bytes");
+  }
+  r.violations = log.violations();
+  r.violation_messages = log.messages();
+  if (t.fault != nullptr) {
+    r.faults = t.fault->stats();
+  }
+  if (flapper != nullptr) {
+    r.flaps = flapper->flaps_started();
+  }
+  r.checksum_drops = t.receiver->nic_rx()->stats().checksum_drops;
+  if (use_juggler && opt.audit) {
+    for (size_t q = 0; q < t.receiver->nic_rx()->num_queues(); ++q) {
+      if (auto* auditor = dynamic_cast<JugglerAuditor*>(t.receiver->nic_rx()->gro(q))) {
+        r.audits += auditor->audits();
+      }
+    }
+  }
+
+  Digest d;
+  d.Mix(r.bytes_delivered);
+  d.Mix(static_cast<uint64_t>(r.finish_time));
+  d.Mix(r.violations);
+  d.Mix(r.checksum_drops);
+  d.Mix(r.faults.packets_in);
+  d.Mix(r.faults.drops);
+  d.Mix(r.faults.duplicates);
+  d.Mix(r.faults.corruptions);
+  d.Mix(r.faults.truncations);
+  d.Mix(r.faults.delayed);
+  d.Mix(r.flaps);
+  const GroStats gro = t.receiver->nic_rx()->TotalGroStats();
+  d.Mix(gro.packets_in);
+  d.Mix(gro.segments_out);
+  d.Mix(gro.ooo_packets);
+  const TcpSenderStats& snd = pair.a_to_b->sender_stats();
+  d.Mix(snd.fast_retransmits);
+  d.Mix(snd.rtos);
+  d.Mix(snd.retransmitted_bytes);
+  r.digest = d.h;
+  return r;
+}
+
+}  // namespace
+
+const char* FaultFamilyName(FaultFamily family) {
+  switch (family) {
+    case FaultFamily::kDropBurst:
+      return "drop-burst";
+    case FaultFamily::kDuplicate:
+      return "duplicate";
+    case FaultFamily::kCorrupt:
+      return "corrupt";
+    case FaultFamily::kDelaySpike:
+      return "delay-spike";
+    case FaultFamily::kLinkFlap:
+      return "link-flap";
+    case FaultFamily::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+FaultTimeline MakeChaosTimeline(FaultFamily family, uint64_t seed, TimeNs horizon,
+                                int num_windows) {
+  JUG_CHECK(num_windows >= 1 && horizon > 0);
+  Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL +
+          static_cast<uint64_t>(family));
+  FaultTimeline timeline;
+  if (family == FaultFamily::kLinkFlap) {
+    return timeline;  // link flaps are scheduled on the Link, not per packet
+  }
+  // Windows tile [horizon/32, horizon] with jittered boundaries and ~20%
+  // gaps between them: connection establishment stays clean, faults flare
+  // and subside across the bulk of the transfer (whose duration is
+  // congestion-limited and engine-dependent, hence the wide span), and
+  // everything after `horizon` is fault-free recovery time.
+  const TimeNs lo = horizon / 32;
+  const TimeNs span = (horizon - lo) / num_windows;
+  for (int i = 0; i < num_windows; ++i) {
+    const TimeNs wlo = lo + span * i;
+    const TimeNs start = wlo + rng.NextBounded(static_cast<uint64_t>(span / 8));
+    const TimeNs end = wlo + span - span / 8 - rng.NextBounded(static_cast<uint64_t>(span / 8));
+    FaultFamily f = family;
+    if (family == FaultFamily::kMixed) {
+      f = static_cast<FaultFamily>(rng.NextBounded(4));  // packet families only
+    }
+    FaultProfile p;
+    switch (f) {
+      case FaultFamily::kDropBurst:
+        p = DropBurstProfile(&rng);
+        break;
+      case FaultFamily::kDuplicate:
+        p = DuplicateProfile(&rng);
+        break;
+      case FaultFamily::kCorrupt:
+        p = CorruptProfile(&rng);
+        break;
+      case FaultFamily::kDelaySpike:
+        p = DelaySpikeProfile(&rng);
+        break;
+      default:
+        break;
+    }
+    timeline.Add(start, end, p);
+  }
+  return timeline;
+}
+
+ChaosResult RunChaos(const ChaosOptions& options) {
+  ChaosResult result;
+  result.juggler = RunOneEngine(options, /*use_juggler=*/true);
+  result.baseline = RunOneEngine(options, /*use_juggler=*/false);
+  // The two engines must agree on the application byte stream. Totals plus
+  // each run's own integrity check (contiguity, exactly-once) make the
+  // comparison: identical totals of identical contiguous prefixes are the
+  // identical stream.
+  result.streams_match =
+      result.juggler.bytes_delivered == result.baseline.bytes_delivered;
+  result.ok = result.juggler.completed && result.baseline.completed &&
+              result.juggler.violations == 0 && result.baseline.violations == 0 &&
+              result.streams_match;
+  return result;
+}
+
+}  // namespace juggler

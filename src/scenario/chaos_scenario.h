@@ -1,0 +1,89 @@
+// Randomized fault soak: Juggler vs the baseline stack, differentially.
+//
+// A ChaosScenario composes a seeded random fault timeline from one of five
+// fault families (drop bursts, duplication, corruption, delay spikes, link
+// flaps — or a mix), runs the same bulk transfer through the NetFPGA
+// topology twice — once with Juggler (wrapped in the invariant auditor) and
+// once with standard GRO — and checks that
+//
+//   * both runs complete the transfer with zero invariant violations
+//     (StreamIntegrityChecker + JugglerAuditor feed a shared AuditLog), and
+//   * both engines hand TCP the identical application byte stream: same
+//     final total, contiguous, exactly once. Whatever the wire did, the two
+//     stacks must agree on the bytes.
+//
+// Every random decision descends from ChaosOptions::seed, so a failing
+// (family, seed) pair is a complete reproduction recipe; the per-run digest
+// makes "same seed => bit-identical run" checkable.
+
+#ifndef JUGGLER_SRC_SCENARIO_CHAOS_SCENARIO_H_
+#define JUGGLER_SRC_SCENARIO_CHAOS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_stage.h"
+#include "src/util/time.h"
+
+namespace juggler {
+
+enum class FaultFamily : int {
+  kDropBurst = 0,
+  kDuplicate,
+  kCorrupt,
+  kDelaySpike,
+  kLinkFlap,
+  kMixed,
+};
+constexpr int kNumFaultFamilies = 5;  // kMixed is a combination, not a family
+
+const char* FaultFamilyName(FaultFamily family);
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  FaultFamily family = FaultFamily::kMixed;
+  uint64_t transfer_bytes = 1'500'000;
+  // Wall-clock budget per engine run. Fault windows occupy the first half;
+  // the second half is clean so TCP can always recover and finish.
+  TimeNs time_limit = Ms(800);
+  TimeNs reorder_delay = Us(250);
+  int num_windows = 3;
+  // Wrap Juggler in the structural invariant auditor.
+  bool audit = true;
+};
+
+struct ChaosEngineResult {
+  std::string engine;
+  bool completed = false;
+  uint64_t bytes_delivered = 0;
+  TimeNs finish_time = 0;
+  uint64_t violations = 0;
+  std::vector<std::string> violation_messages;
+  FaultStats faults;            // zeroes for the link-flap family
+  uint64_t flaps = 0;           // link-flap family only
+  uint64_t checksum_drops = 0;  // corrupted frames the NIC discarded
+  uint64_t audits = 0;          // structural audits performed (Juggler only)
+  // FNV-1a over the run's observable counters: same seed + options must
+  // reproduce this bit-identically.
+  uint64_t digest = 0;
+};
+
+struct ChaosResult {
+  ChaosEngineResult juggler;
+  ChaosEngineResult baseline;
+  bool streams_match = false;  // both engines delivered the identical stream
+  bool ok = false;             // completed + zero violations + streams_match
+};
+
+// The seeded random fault schedule for `family`: `num_windows` windows
+// placed in [horizon/8, horizon/2]. (The link-flap family has no packet
+// timeline — RunChaos drives a LinkFlapper instead.)
+FaultTimeline MakeChaosTimeline(FaultFamily family, uint64_t seed, TimeNs horizon,
+                                int num_windows);
+
+ChaosResult RunChaos(const ChaosOptions& options);
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_SCENARIO_CHAOS_SCENARIO_H_

@@ -31,10 +31,18 @@ NetFpgaTestbed BuildNetFpga(SimWorld* world, NetFpgaOptions options) {
   // does not exist yet — latch it.
   LatchSink* to_sender = t.fabric.AddLatch();
   Link* rev_link = t.fabric.AddLink(loop, "rev", host_link, to_sender);
+  t.rev_link = rev_link;
   t.receiver = t.fabric.AddHost(world, options.receiver, rev_link);
 
-  // Forward pipeline: fwd_link -> reorder -> (drop) -> receiver NIC.
+  // Forward pipeline: fwd_link -> reorder -> (drop) -> (fault) -> receiver
+  // NIC. The fault stage sits nearest the NIC so its corruptions and delay
+  // spikes hit after the topology's own reordering, like a last-hop fault.
   PacketSink* into_receiver = t.receiver->wire_in();
+  if (!options.faults.empty()) {
+    t.fault = t.fabric.AddFault(loop, "fault", options.faults, options.seed * 6151 + 29,
+                                into_receiver);
+    into_receiver = t.fault;
+  }
   if (options.drop_prob > 0.0) {
     t.fabric.drops.push_back(
         std::make_unique<DropStage>(options.drop_prob, options.seed * 7919 + 13, into_receiver));
@@ -46,6 +54,7 @@ NetFpgaTestbed BuildNetFpga(SimWorld* world, NetFpgaOptions options) {
   t.reorder = t.fabric.reorders.back().get();
 
   Link* fwd_link = t.fabric.AddLink(loop, "fwd", host_link, t.reorder);
+  t.fwd_link = fwd_link;
   t.sender = t.fabric.AddHost(world, options.sender, fwd_link);
   to_sender->set_target(t.sender->wire_in());
   return t;

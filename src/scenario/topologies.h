@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/fault_stage.h"
 #include "src/net/link.h"
 #include "src/net/stages.h"
 #include "src/net/switch.h"
@@ -39,11 +40,18 @@ struct Fabric {
   std::vector<std::unique_ptr<Host>> hosts;
   std::vector<std::unique_ptr<ReorderStage>> reorders;
   std::vector<std::unique_ptr<DropStage>> drops;
+  std::vector<std::unique_ptr<FaultStage>> faults;
   std::vector<std::unique_ptr<LatchSink>> latches;
 
   LatchSink* AddLatch() {
     latches.push_back(std::make_unique<LatchSink>());
     return latches.back().get();
+  }
+  FaultStage* AddFault(EventLoop* loop, std::string name, FaultTimeline timeline, uint64_t seed,
+                       PacketSink* sink) {
+    faults.push_back(std::make_unique<FaultStage>(loop, std::move(name), std::move(timeline),
+                                                  seed, sink));
+    return faults.back().get();
   }
   Switch* AddSwitch(std::string name, LbPolicy uplink_policy) {
     switches.push_back(std::make_unique<Switch>(std::move(name), uplink_policy));
@@ -67,6 +75,9 @@ struct NetFpgaOptions {
   TimeNs base_delay = Us(5);      // lane 0 delay (fabric latency)
   TimeNs reorder_delay = Us(500);  // lane 1 extra delay: "τ µs reordering"
   double drop_prob = 0.0;          // applied receiver-side, before the NIC
+  // Fault-injection schedule applied receiver-side, nearest the NIC (after
+  // the reorder and legacy drop stages). Empty = no fault stage.
+  FaultTimeline faults;
   uint64_t seed = 1;
   HostConfig sender;
   HostConfig receiver;
@@ -78,6 +89,9 @@ struct NetFpgaTestbed {
   Host* receiver = nullptr;
   DropStage* drop = nullptr;
   ReorderStage* reorder = nullptr;
+  FaultStage* fault = nullptr;   // set when options.faults is non-empty
+  Link* fwd_link = nullptr;      // sender -> receiver data path
+  Link* rev_link = nullptr;      // receiver -> sender ACK path
 };
 
 NetFpgaTestbed BuildNetFpga(SimWorld* world, NetFpgaOptions options);

@@ -1,5 +1,6 @@
 #include "src/sim/event_loop.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -10,8 +11,9 @@ namespace juggler {
 TimerId EventLoop::ScheduleAt(TimeNs when, Callback cb) {
   JUG_CHECK(when >= now_);
   const TimerId id = next_id_++;
-  queue_.push(Event{when, next_order_++, id, std::move(cb)});
-  cancelled_capable_ids_.insert(id);
+  heap_.push_back(Event{when, next_order_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+  pending_ids_.insert(id);
   return id;
 }
 
@@ -19,29 +21,42 @@ void EventLoop::Cancel(TimerId id) {
   if (id == kInvalidTimerId) {
     return;
   }
-  cancelled_capable_ids_.erase(id);
+  if (pending_ids_.erase(id) > 0) {
+    ++dead_in_heap_;
+    MaybeCompact();
+  }
+}
+
+void EventLoop::MaybeCompact() {
+  // Compact only once dead entries both dominate the heap and are numerous
+  // enough that the O(n) rebuild amortises to O(1) per cancellation.
+  if (dead_in_heap_ < 1024 || dead_in_heap_ * 2 < heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [this](const Event& e) { return !pending_ids_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), EventLater{});
+  dead_in_heap_ = 0;
 }
 
 bool EventLoop::RunOne(TimeNs deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > deadline) {
+  while (!heap_.empty()) {
+    if (heap_.front().when > deadline) {
       return false;
     }
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
     // Lazily skip cancelled events.
-    if (!cancelled_capable_ids_.contains(top.id)) {
-      queue_.pop();
+    if (!pending_ids_.contains(event.id)) {
+      JUG_CHECK(dead_in_heap_ > 0);
+      --dead_in_heap_;
       continue;
     }
-    JUG_CHECK(top.when >= now_);
-    now_ = top.when;
-    cancelled_capable_ids_.erase(top.id);
-    // Move the callback out before popping; the callback may schedule more
-    // events (mutating the queue) so it must not run while `top` is aliased.
-    Callback cb = std::move(const_cast<Event&>(top).cb);
-    queue_.pop();
+    JUG_CHECK(event.when >= now_);
+    now_ = event.when;
+    pending_ids_.erase(event.id);
     ++executed_;
-    cb();
+    event.cb();
     return true;
   }
   return false;

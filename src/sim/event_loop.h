@@ -6,14 +6,17 @@
 // tie-break id), which makes every experiment deterministic.
 //
 // Timers are cancellable: Schedule() returns a TimerId and Cancel() marks the
-// entry dead (lazy deletion — the heap entry is discarded when popped).
+// entry dead (lazy deletion — the heap entry is discarded when popped). So
+// that long soak runs stay bounded, the loop tracks how many dead entries the
+// heap holds and compacts it in place once they dominate: components that
+// arm-and-cancel timers millions of times (TCP RTO, GRO hrtimers) cost O(live
+// timers) memory, not O(cancellations).
 
 #ifndef JUGGLER_SRC_SIM_EVENT_LOOP_H_
 #define JUGGLER_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -44,7 +47,7 @@ class EventLoop {
   // no-op, which keeps call sites simple ("cancel whatever might be armed").
   void Cancel(TimerId id);
 
-  bool IsPending(TimerId id) const { return cancelled_capable_ids_.contains(id); }
+  bool IsPending(TimerId id) const { return pending_ids_.contains(id); }
 
   // Run until the event queue drains.
   void Run();
@@ -56,7 +59,10 @@ class EventLoop {
   // Run at most `max_events` events (testing aid). Returns events executed.
   uint64_t RunSteps(uint64_t max_events);
 
-  size_t pending_events() const { return queue_.size(); }
+  // Heap entries, including not-yet-reclaimed cancelled ones.
+  size_t pending_events() const { return heap_.size(); }
+  // Live (schedulable, not cancelled, not fired) timer ids.
+  size_t pending_timer_ids() const { return pending_ids_.size(); }
   uint64_t executed_events() const { return executed_; }
 
   // Request that Run()/RunUntil() return after the current event completes.
@@ -83,8 +89,14 @@ class EventLoop {
   // next event is after `deadline`.
   bool RunOne(TimeNs deadline);
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<TimerId> cancelled_capable_ids_;  // ids still pending
+  // Rebuilds the heap without dead (cancelled) entries once they outnumber
+  // the live ones; amortised O(1) per cancellation.
+  void MaybeCompact();
+
+  // Binary heap ordered by EventLater (front = earliest event).
+  std::vector<Event> heap_;
+  std::unordered_set<TimerId> pending_ids_;  // ids scheduled and not yet fired/cancelled
+  size_t dead_in_heap_ = 0;                  // cancelled entries still in heap_
   TimeNs now_ = 0;
   uint64_t next_order_ = 0;
   TimerId next_id_ = 1;

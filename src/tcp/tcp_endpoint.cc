@@ -359,6 +359,9 @@ void TcpEndpoint::UpdateRttEstimate(TimeNs sample) {
 // -------------------------------------------------------------- receiver --
 
 void TcpEndpoint::OnSegment(const Segment& segment) {
+  if (segment_tap_) {
+    segment_tap_(segment);
+  }
   if (segment.payload_len > 0) {
     ProcessData(segment);
   }

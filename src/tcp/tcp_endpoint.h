@@ -103,6 +103,13 @@ class TcpEndpoint {
     on_deliver_ = std::move(cb);
   }
 
+  // Observation-only tap invoked with every segment handed to this endpoint,
+  // before any processing. The fault layer's StreamIntegrityChecker uses it
+  // to account for exactly which byte ranges GRO delivered up the stack.
+  void set_segment_tap(std::function<void(const Segment&)> tap) {
+    segment_tap_ = std::move(tap);
+  }
+
   // Per-packet priority marking (dynamic prioritization, §2.1).
   void set_priority_marker(std::function<Priority()> marker);
 
@@ -211,6 +218,7 @@ class TcpEndpoint {
   // Out-of-order byte ranges [start, end) awaiting reassembly.
   SeqRangeSet ooo_;
   std::function<void(uint64_t)> on_deliver_;
+  std::function<void(const Segment&)> segment_tap_;
   std::function<uint64_t()> rwnd_pressure_;
 
   TcpSenderStats snd_stats_;

@@ -1,0 +1,97 @@
+// Differential chaos tests (ctest label: "chaos").
+//
+// Each test drives the same bulk transfer through Juggler (with structural
+// invariant auditing) and through standard GRO under one fault family, over
+// several seeds, and requires: both transfers complete, zero invariant
+// violations, and byte-identical delivered streams. A final test pins the
+// determinism contract: the same seed must reproduce a bit-identical run.
+//
+// The 20-seed-per-family acceptance soak lives in bench/chaos_soak; these
+// tests keep a representative slice of it in the default `ctest` run.
+
+#include <gtest/gtest.h>
+
+#include "src/scenario/chaos_scenario.h"
+
+namespace juggler {
+namespace {
+
+constexpr int kSeedsPerFamily = 4;
+
+void RunFamily(FaultFamily family) {
+  for (int s = 0; s < kSeedsPerFamily; ++s) {
+    ChaosOptions opt;
+    opt.seed = 1 + static_cast<uint64_t>(s);
+    opt.family = family;
+    const ChaosResult r = RunChaos(opt);
+    EXPECT_TRUE(r.juggler.completed)
+        << FaultFamilyName(family) << " seed " << opt.seed << ": juggler delivered "
+        << r.juggler.bytes_delivered << " of " << opt.transfer_bytes;
+    EXPECT_TRUE(r.baseline.completed)
+        << FaultFamilyName(family) << " seed " << opt.seed << ": baseline delivered "
+        << r.baseline.bytes_delivered << " of " << opt.transfer_bytes;
+    EXPECT_EQ(r.juggler.violations, 0u)
+        << FaultFamilyName(family) << " seed " << opt.seed << ": "
+        << (r.juggler.violation_messages.empty() ? "" : r.juggler.violation_messages.front());
+    EXPECT_EQ(r.baseline.violations, 0u)
+        << FaultFamilyName(family) << " seed " << opt.seed << ": "
+        << (r.baseline.violation_messages.empty() ? ""
+                                                  : r.baseline.violation_messages.front());
+    EXPECT_TRUE(r.streams_match)
+        << FaultFamilyName(family) << " seed " << opt.seed << ": juggler "
+        << r.juggler.bytes_delivered << " vs baseline " << r.baseline.bytes_delivered;
+    EXPECT_GT(r.juggler.audits, 0u) << "auditor never ran";
+  }
+}
+
+TEST(ChaosSoakTest, DropBursts) { RunFamily(FaultFamily::kDropBurst); }
+
+TEST(ChaosSoakTest, Duplication) { RunFamily(FaultFamily::kDuplicate); }
+
+TEST(ChaosSoakTest, Corruption) { RunFamily(FaultFamily::kCorrupt); }
+
+TEST(ChaosSoakTest, DelaySpikes) { RunFamily(FaultFamily::kDelaySpike); }
+
+TEST(ChaosSoakTest, LinkFlaps) { RunFamily(FaultFamily::kLinkFlap); }
+
+TEST(ChaosSoakTest, MixedFaults) { RunFamily(FaultFamily::kMixed); }
+
+TEST(ChaosSoakTest, CorruptionRunsSeeChecksumDrops) {
+  // The corruption family must actually exercise the NIC's checksum
+  // validation path (otherwise the family tests nothing).
+  uint64_t total_checksum_drops = 0;
+  for (int s = 0; s < kSeedsPerFamily; ++s) {
+    ChaosOptions opt;
+    opt.seed = 1 + static_cast<uint64_t>(s);
+    opt.family = FaultFamily::kCorrupt;
+    total_checksum_drops += RunChaos(opt).juggler.checksum_drops;
+  }
+  EXPECT_GT(total_checksum_drops, 0u);
+}
+
+TEST(ChaosSoakTest, SameSeedBitIdenticalDigest) {
+  for (FaultFamily family :
+       {FaultFamily::kDropBurst, FaultFamily::kDelaySpike, FaultFamily::kLinkFlap,
+        FaultFamily::kMixed}) {
+    ChaosOptions opt;
+    opt.seed = 11;
+    opt.family = family;
+    const ChaosResult r1 = RunChaos(opt);
+    const ChaosResult r2 = RunChaos(opt);
+    EXPECT_EQ(r1.juggler.digest, r2.juggler.digest) << FaultFamilyName(family);
+    EXPECT_EQ(r1.baseline.digest, r2.baseline.digest) << FaultFamilyName(family);
+    EXPECT_EQ(r1.juggler.finish_time, r2.juggler.finish_time) << FaultFamilyName(family);
+  }
+}
+
+TEST(ChaosSoakTest, DifferentSeedsDifferentFaultPatterns) {
+  ChaosOptions a;
+  a.seed = 3;
+  a.family = FaultFamily::kDropBurst;
+  ChaosOptions b = a;
+  b.seed = 4;
+  EXPECT_NE(RunChaos(a).juggler.digest, RunChaos(b).juggler.digest);
+}
+
+}  // namespace
+}  // namespace juggler

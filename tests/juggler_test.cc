@@ -443,5 +443,89 @@ TEST(JugglerTest, OooQueueRunsCoalesce) {
   EXPECT_EQ(h.delivered()[0].mtu_count, 6u);
 }
 
+TEST(JugglerTest, EvictionPrecedenceWithAllThreeClassesPresent) {
+  // §4.3's full order in one table: with inactive, active, and loss-recovery
+  // flows all present, evictions must consume every inactive flow first,
+  // then actives in FIFO order, and touch loss recovery only when it is all
+  // that remains.
+  JugglerConfig config;
+  config.max_flows = 3;
+  config.ofo_timeout = Us(10);
+  GroHarness h = MakeJuggler(config);
+  // Flow 1 -> loss recovery: establish seq_next, open a hole, let ofo fire.
+  h.Receive(MakeDataPacket(TestFlow(1, 1), 0, kMss));
+  h.Advance(Us(20));
+  h.PollComplete();
+  h.Receive(MakeDataPacket(TestFlow(1, 1), 3 * kMss, kMss));  // hole at kMss
+  h.Advance(Us(20));
+  h.PollComplete();
+  ASSERT_EQ(Engine(h)->loss_list_len(), 1u);
+  // Flow 2 -> inactive (flushed clean); flow 3 -> active (buffered run).
+  h.Receive(MakeDataPacket(TestFlow(2, 1), 0, kMss));
+  h.Advance(Us(20));
+  h.PollComplete();
+  h.Receive(MakeDataPacket(TestFlow(3, 1), 5 * kMss, kMss));
+  ASSERT_EQ(Engine(h)->inactive_list_len(), 1u);
+  ASSERT_EQ(Engine(h)->active_list_len(), 1u);
+  ASSERT_EQ(Engine(h)->flow_table_size(), 3u);
+  // Arrival 4: evicts the inactive flow, never the active or loss one.
+  h.Receive(MakeDataPacket(TestFlow(4, 1), 5 * kMss, kMss));
+  EXPECT_EQ(Engine(h)->juggler_stats().evictions_inactive, 1u);
+  EXPECT_EQ(Engine(h)->juggler_stats().evictions_active, 0u);
+  EXPECT_EQ(Engine(h)->juggler_stats().evictions_loss, 0u);
+  // Arrival 5: no inactive flows remain; the OLDEST active (flow 3) goes.
+  h.Receive(MakeDataPacket(TestFlow(5, 1), 5 * kMss, kMss));
+  EXPECT_EQ(Engine(h)->juggler_stats().evictions_active, 1u);
+  // Arrivals 6, 7: actives keep draining FIFO; loss recovery untouched.
+  h.Receive(MakeDataPacket(TestFlow(6, 1), 5 * kMss, kMss));
+  h.Receive(MakeDataPacket(TestFlow(7, 1), 5 * kMss, kMss));
+  EXPECT_EQ(Engine(h)->juggler_stats().evictions_active, 3u);
+  EXPECT_EQ(Engine(h)->juggler_stats().evictions_loss, 0u);
+  // Drive the surviving flows 6 and 7 into loss recovery too: flush their
+  // runs (establishing seq_next), open holes, let ofo fire.
+  h.Advance(Us(20));
+  h.PollComplete();  // flows 6, 7 flush -> inactive
+  h.Receive(MakeDataPacket(TestFlow(6, 1), 8 * kMss, kMss));  // hole at 6*kMss
+  h.Receive(MakeDataPacket(TestFlow(7, 1), 8 * kMss, kMss));
+  h.Advance(Us(20));
+  h.PollComplete();
+  ASSERT_EQ(Engine(h)->loss_list_len(), 3u);
+  // Arrival 8: only loss-recovery flows remain; §3.3's strict memory bound
+  // now forces one out — the last resort.
+  h.Receive(MakeDataPacket(TestFlow(8, 1), 0, kMss));
+  EXPECT_EQ(Engine(h)->juggler_stats().evictions_loss, 1u);
+  EXPECT_EQ(Engine(h)->flow_table_size(), 3u);
+}
+
+TEST(JugglerTest, EvictionFlushesEveryBufferedByte) {
+  // FlushAll on eviction: the conservation counters must balance — every
+  // payload byte that entered an OOO queue leaves through a delivery, even
+  // for flows force-evicted with holes still open.
+  JugglerConfig config;
+  config.max_flows = 2;
+  GroHarness h = MakeJuggler(config);
+  // Each flow buffers three discontiguous runs, then eviction churn kicks
+  // every flow out in turn.
+  for (uint16_t f = 1; f <= 6; ++f) {
+    for (Seq run = 1; run <= 5; run += 2) {
+      h.Receive(MakeDataPacket(TestFlow(f, 1), run * kMss, kMss));
+    }
+  }
+  h.PollComplete();
+  const JugglerStats& stats = Engine(h)->juggler_stats();
+  EXPECT_EQ(stats.evictions_active, 4u);
+  EXPECT_EQ(stats.buffered_bytes_in, 6u * 3u * kMss);
+  // The two live flows still hold their runs; everything else flushed.
+  const Juggler::AuditView view = Engine(h)->Audit();
+  uint64_t held = 0;
+  for (const auto& flow : view.flows) {
+    held += flow.buffered_bytes;
+  }
+  EXPECT_EQ(held, 2u * 3u * kMss);
+  EXPECT_EQ(stats.buffered_bytes_out, stats.buffered_bytes_in - held);
+  // And the evicted flows' bytes reached the host as segments.
+  EXPECT_EQ(TotalPayload(h.delivered()), 4u * 3u * kMss);
+}
+
 }  // namespace
 }  // namespace juggler

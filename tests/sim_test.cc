@@ -137,5 +137,56 @@ TEST(EventLoopTest, ManyEventsStress) {
   EXPECT_EQ(sum, 100000u);
 }
 
+TEST(EventLoopTest, ScheduleCancelCyclesStayBounded) {
+  // Regression: cancelled timers used to linger in the heap forever, so a
+  // schedule/cancel-heavy component (TCP re-arming its RTO on every ACK)
+  // grew the loop's memory without bound. The heap must compact itself.
+  EventLoop loop;
+  for (int i = 0; i < 1'000'000; ++i) {
+    loop.Cancel(loop.Schedule(1'000'000'000, [] {}));
+    // Live entries stay small; the heap may hold dead entries only up to the
+    // compaction threshold.
+    ASSERT_EQ(loop.pending_timer_ids(), 0u);
+    ASSERT_LT(loop.pending_events(), 3000u);
+  }
+  loop.Run();
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoopTest, ScheduleFireCyclesStayBounded) {
+  EventLoop loop;
+  uint64_t fires = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    loop.Schedule(1, [&fires] { ++fires; });
+    loop.Run();
+    ASSERT_EQ(loop.pending_events(), 0u);
+    ASSERT_EQ(loop.pending_timer_ids(), 0u);
+  }
+  EXPECT_EQ(fires, 1'000'000u);
+}
+
+TEST(EventLoopTest, MixedCancelAndFireKeepsHeapCompact) {
+  // Interleaved live and dead timers: half fire, half are cancelled, with
+  // the cancelled ones always further in the future (the worst case for a
+  // lazy-deletion heap, since the dead entries sink to the bottom).
+  EventLoop loop;
+  uint64_t fires = 0;
+  for (int round = 0; round < 1000; ++round) {
+    std::vector<TimerId> doomed;
+    doomed.reserve(500);
+    for (int i = 0; i < 500; ++i) {
+      loop.Schedule(1, [&fires] { ++fires; });
+      doomed.push_back(loop.Schedule(1'000'000'000, [] {}));
+    }
+    for (TimerId id : doomed) {
+      loop.Cancel(id);
+    }
+    loop.RunUntil(loop.now() + 2);
+    ASSERT_EQ(loop.pending_timer_ids(), 0u);
+    ASSERT_LT(loop.pending_events(), 3000u);
+  }
+  EXPECT_EQ(fires, 500'000u);
+}
+
 }  // namespace
 }  // namespace juggler
