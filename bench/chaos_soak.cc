@@ -7,9 +7,15 @@
 // invariant violations, stream agreement, and fault-event volume, then
 // re-runs one (family, seed) pair per family to demonstrate the determinism
 // contract: same seed + timeline => bit-identical digest.
+//
+// The (family, seed) runs are independent, so they execute on the parallel
+// sweep runner; results are aggregated and printed in sequential order, and
+// each run is a pure function of its options, so the output (digests
+// included) is byte-identical to the old sequential loop.
 
 #include "bench/bench_common.h"
 #include "src/scenario/chaos_scenario.h"
+#include "src/sim/sweep_runner.h"
 
 namespace juggler {
 namespace {
@@ -20,6 +26,7 @@ const FaultFamily kFamilies[] = {
     FaultFamily::kDropBurst, FaultFamily::kDuplicate, FaultFamily::kCorrupt,
     FaultFamily::kDelaySpike, FaultFamily::kLinkFlap,
 };
+constexpr size_t kNumFamilies = sizeof(kFamilies) / sizeof(kFamilies[0]);
 
 int Run() {
   PrintHeader("chaos soak",
@@ -30,17 +37,25 @@ int Run() {
   std::printf("%-12s %10s %10s %12s %12s %12s\n", "family", "runs", "completed",
               "violations", "mismatches", "fault_events");
 
+  // One point per (family, seed); family-major so aggregation below walks the
+  // results in exactly the order the sequential loops produced them.
+  const std::vector<ChaosResult> results =
+      RunSweep(kNumFamilies * kSeeds, [](size_t i) {
+        ChaosOptions opt;
+        opt.family = kFamilies[i / kSeeds];
+        opt.seed = 1 + static_cast<uint64_t>(i % kSeeds);
+        return RunChaos(opt);
+      });
+
   int failures = 0;
-  for (FaultFamily family : kFamilies) {
+  for (size_t f = 0; f < kNumFamilies; ++f) {
+    const FaultFamily family = kFamilies[f];
     int completed = 0;
     uint64_t violations = 0;
     int mismatches = 0;
     uint64_t fault_events = 0;
     for (int s = 0; s < kSeeds; ++s) {
-      ChaosOptions opt;
-      opt.seed = 1 + static_cast<uint64_t>(s);
-      opt.family = family;
-      const ChaosResult r = RunChaos(opt);
+      const ChaosResult& r = results[f * kSeeds + static_cast<size_t>(s)];
       if (r.juggler.completed && r.baseline.completed) {
         ++completed;
       }
@@ -54,7 +69,7 @@ int Run() {
       if (!r.ok) {
         ++failures;
         std::printf("  FAIL %s seed=%llu\n", FaultFamilyName(family),
-                    static_cast<unsigned long long>(opt.seed));
+                    static_cast<unsigned long long>(1 + s));
         for (const auto& res : {r.juggler, r.baseline}) {
           for (const auto& m : res.violation_messages) {
             std::printf("    %s: %s\n", res.engine.c_str(), m.c_str());
@@ -69,20 +84,32 @@ int Run() {
 
   std::printf("\ndeterminism: same (family, seed) twice, digests must match\n");
   std::printf("%-12s %18s %18s  %s\n", "family", "digest_run1", "digest_run2", "match");
-  for (FaultFamily family : kFamilies) {
+  // Each determinism point runs its pair back-to-back on one worker; the pair
+  // must share nothing but the options, which is exactly the contract.
+  struct DeterminismPair {
+    ChaosResult r1;
+    ChaosResult r2;
+  };
+  const std::vector<DeterminismPair> pairs = RunSweep(kNumFamilies, [](size_t f) {
     ChaosOptions opt;
     opt.seed = 7;
-    opt.family = family;
-    const ChaosResult r1 = RunChaos(opt);
-    const ChaosResult r2 = RunChaos(opt);
-    const bool match =
-        r1.juggler.digest == r2.juggler.digest && r1.baseline.digest == r2.baseline.digest;
+    opt.family = kFamilies[f];
+    DeterminismPair pair;
+    pair.r1 = RunChaos(opt);
+    pair.r2 = RunChaos(opt);
+    return pair;
+  });
+  for (size_t f = 0; f < kNumFamilies; ++f) {
+    const DeterminismPair& pair = pairs[f];
+    const bool match = pair.r1.juggler.digest == pair.r2.juggler.digest &&
+                       pair.r1.baseline.digest == pair.r2.baseline.digest;
     if (!match) {
       ++failures;
     }
-    std::printf("%-12s %018llx %018llx  %s\n", FaultFamilyName(family),
-                static_cast<unsigned long long>(r1.juggler.digest),
-                static_cast<unsigned long long>(r2.juggler.digest), match ? "yes" : "NO");
+    std::printf("%-12s %018llx %018llx  %s\n", FaultFamilyName(kFamilies[f]),
+                static_cast<unsigned long long>(pair.r1.juggler.digest),
+                static_cast<unsigned long long>(pair.r2.juggler.digest),
+                match ? "yes" : "NO");
   }
 
   std::printf("\n%s\n", failures == 0 ? "PASS" : "FAIL");

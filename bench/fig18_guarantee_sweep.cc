@@ -8,6 +8,7 @@
 // -priority packets still get the fair share).
 
 #include "bench/guarantee_common.h"
+#include "src/sim/sweep_runner.h"
 
 namespace juggler {
 namespace {
@@ -46,9 +47,19 @@ int main() {
   const int trials = 5;
   TablePrinter table({"guarantee(Gb/s)", "juggler mean(Gb/s)", "juggler std", "vanilla mean(Gb/s)",
                       "vanilla std"});
-  for (int64_t b = 5; b <= 30; b += 5) {
-    const SweepResult j = RunPoint(true, b * kGbps, trials);
-    const SweepResult v = RunPoint(false, b * kGbps, trials);
+  // 6 guarantees x {juggler, vanilla}: 12 independent points on the sweep
+  // runner. Each RunPoint builds its own rig per trial, so results match the
+  // old sequential loop exactly.
+  constexpr size_t kGuarantees = 6;
+  const std::vector<SweepResult> points = RunSweep(kGuarantees * 2, [trials](size_t i) {
+    const int64_t b = 5 + static_cast<int64_t>(i / 2) * 5;
+    const bool use_juggler = (i % 2) == 0;
+    return RunPoint(use_juggler, b * kGbps, trials);
+  });
+  for (size_t g = 0; g < kGuarantees; ++g) {
+    const int64_t b = 5 + static_cast<int64_t>(g) * 5;
+    const SweepResult& j = points[g * 2];
+    const SweepResult& v = points[g * 2 + 1];
     table.AddRow({TablePrinter::Num(static_cast<double>(b), 0), TablePrinter::Num(j.mean_gbps, 2),
                   TablePrinter::Num(j.std_gbps, 2), TablePrinter::Num(v.mean_gbps, 2),
                   TablePrinter::Num(v.std_gbps, 2)});

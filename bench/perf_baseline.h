@@ -1,0 +1,21 @@
+// Recorded hot-path baseline for bench/perf_core. Regenerate with
+//   perf_core --print-baseline-header > bench/perf_baseline.h
+// and note the commit it was measured at.
+//
+// These numbers were measured at commit bb7f1e8 (pre-overhaul seed: one heap
+// allocation per MTU, std::function timer callbacks, unordered_set timer-id
+// tracking, std::function GRO context), RelWithDebInfo, best of 3 runs.
+
+#ifndef JUGGLER_BENCH_PERF_BASELINE_H_
+#define JUGGLER_BENCH_PERF_BASELINE_H_
+
+namespace juggler::perf_baseline {
+
+inline constexpr char kCommit[] = "bb7f1e8";
+inline constexpr double kEventLoopEventsPerSec = 14268317.0;
+inline constexpr double kTimerChurnOpsPerSec = 18594931.0;
+inline constexpr double kGroDatapathPacketsPerSec = 19435172.0;
+
+}  // namespace juggler::perf_baseline
+
+#endif  // JUGGLER_BENCH_PERF_BASELINE_H_

@@ -1,0 +1,341 @@
+// perf_core: hot-path microbenchmarks for the simulation core, with a
+// tracked baseline.
+//
+// Unlike the fig* benches (which measure the *simulated* system) and
+// micro_gro_datapath (google-benchmark exploration), perf_core is the repo's
+// perf trajectory: it measures the two rates every experiment is bottlenecked
+// by — EventLoop events/sec and GRO-datapath packets/sec — and writes
+// BENCH_core.json containing both the current numbers and the recorded
+// pre-overhaul baseline from bench/perf_baseline.h, so any regression (or
+// win) is visible in one file.
+//
+// Modes:
+//   perf_core [--smoke] [--out PATH]   run the suite, write BENCH_core.json
+//   perf_core --print-baseline-header  emit a fresh perf_baseline.h to stdout
+//   perf_core --check PATH             schema-check an existing BENCH_core.json
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/perf_baseline.h"
+#include "src/core/juggler.h"
+#include "src/packet/packet.h"
+#include "src/sim/event_loop.h"
+#include "src/util/time.h"
+
+namespace juggler {
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+// ---------------------------------------------------------------- events --
+
+// Self-rescheduling event chains, the pattern links/NICs/TCP use. Captures
+// are sized like real call sites (a couple of pointers plus flags), which is
+// past std::function's inline buffer but inside TimerCallback's.
+struct Chain {
+  EventLoop* loop = nullptr;
+  uint64_t remaining = 0;
+  uint64_t fired = 0;
+  uint64_t pad0 = 0, pad1 = 0;  // mimic per-callsite state captured by value
+
+  void Arm() {
+    loop->Schedule(1, [this, a = pad0, b = pad1] {
+      pad0 = a + b;
+      ++fired;
+      if (--remaining > 0) {
+        Arm();
+      }
+    });
+  }
+};
+
+double MeasureEventsPerSec(uint64_t total_events) {
+  EventLoop loop;
+  constexpr uint64_t kChains = 8;
+  std::vector<Chain> chains(kChains);
+  for (auto& c : chains) {
+    c.loop = &loop;
+    c.remaining = total_events / kChains;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& c : chains) {
+    c.Arm();
+  }
+  loop.Run();
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0);
+  uint64_t fired = 0;
+  for (const auto& c : chains) {
+    fired += c.fired;
+  }
+  return static_cast<double>(fired) / secs;
+}
+
+// TCP-RTO-style churn: arm a far-future timer, cancel it on the next "ACK".
+// Schedule+cancel dominates; the loop must keep its bookkeeping cheap and its
+// heap compact while almost nothing ever fires.
+double MeasureTimerChurnOpsPerSec(uint64_t total_ops) {
+  EventLoop loop;
+  uint64_t fires = 0;
+  uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < total_ops; ++i) {
+    const TimerId id =
+        loop.Schedule(Ms(200), [&fires, &sink, i] { fires += 1 + (sink & 0) + (i & 0); });
+    loop.Cancel(id);
+    if ((i & 1023) == 0) {
+      // Keep a trickle of real fires mixed in so the heap never goes fully
+      // dead (matches ACK-clocked RTO re-arming).
+      loop.Schedule(0, [&fires] { ++fires; });
+      loop.RunSteps(1);
+    }
+  }
+  loop.Run();
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0);
+  return static_cast<double>(total_ops) / secs;
+}
+
+// ------------------------------------------------------------- datapath --
+
+// Single-flow in-order GRO datapath, the Fig. 9 fast path: one PacketFactory
+// packet per MTU, NAPI-budget polls through Juggler, segments delivered
+// through the engine's GroHost. This is the per-packet cost every simulated
+// byte pays.
+
+// Bench-local host: collects segments, records the armed timer deadline.
+struct BenchGroHost : GroHost {
+  std::vector<Segment> delivered;
+  TimeNs armed = GroEngine::kNoTimer;
+
+  void GroDeliver(Segment s) override { delivered.push_back(std::move(s)); }
+  void GroArmTimer(TimeNs when) override { armed = when; }
+};
+
+double MeasureGroDatapathPacketsPerSec(uint64_t total_packets) {
+  CpuCostModel costs;
+  Juggler engine(&costs, JugglerConfig{});
+
+  TimeNs now = 0;
+  BenchGroHost host;
+  GroEngine::Context ctx;
+  ctx.now = &now;
+  ctx.host = &host;
+  engine.set_context(ctx);
+
+  PacketFactory factory;
+  FiveTuple flow;
+  flow.src_ip = 0x0a000001;
+  flow.dst_ip = 0x0a000002;
+  flow.src_port = 1000;
+  flow.dst_port = 2000;
+
+  constexpr uint64_t kBudget = 64;  // NAPI budget per poll round
+  Seq seq = 0;
+  uint64_t done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < total_packets) {
+    for (uint64_t j = 0; j < kBudget; ++j) {
+      PacketPtr p = factory.Make();
+      p->flow = flow;
+      p->seq = seq;
+      p->payload_len = kMss;
+      p->flags = kFlagAck;
+      p->nic_rx_time = now;
+      engine.Receive(std::move(p));
+      seq += kMss;
+    }
+    done += kBudget;
+    engine.PollComplete();
+    now += Us(5);
+    if (host.armed != GroEngine::kNoTimer && host.armed <= now) {
+      host.armed = GroEngine::kNoTimer;
+      engine.OnTimer();
+    }
+    host.delivered.clear();
+  }
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0);
+  return static_cast<double>(done) / secs;
+}
+
+// ----------------------------------------------------------------- suite --
+
+struct Results {
+  double events_per_sec = 0;
+  double churn_ops_per_sec = 0;
+  double packets_per_sec = 0;
+};
+
+Results RunSuite(bool smoke) {
+  const uint64_t events = smoke ? 200'000 : 4'000'000;
+  const uint64_t churn = smoke ? 200'000 : 4'000'000;
+  const uint64_t packets = smoke ? 128'000 : 2'048'000;
+  const int reps = smoke ? 1 : 3;
+
+  Results best;
+  for (int r = 0; r < reps; ++r) {
+    Results cur;
+    cur.events_per_sec = MeasureEventsPerSec(events);
+    cur.churn_ops_per_sec = MeasureTimerChurnOpsPerSec(churn);
+    cur.packets_per_sec = MeasureGroDatapathPacketsPerSec(packets);
+    best.events_per_sec = std::max(best.events_per_sec, cur.events_per_sec);
+    best.churn_ops_per_sec = std::max(best.churn_ops_per_sec, cur.churn_ops_per_sec);
+    best.packets_per_sec = std::max(best.packets_per_sec, cur.packets_per_sec);
+  }
+  return best;
+}
+
+double Ratio(double cur, double base) { return base > 0 ? cur / base : 0.0; }
+
+void WriteJson(const Results& r, const std::string& path) {
+  std::ofstream out(path);
+  out.precision(1);
+  out << std::fixed;
+  out << "{\n"
+      << "  \"bench\": \"perf_core\",\n"
+      << "  \"baseline\": {\n"
+      << "    \"commit\": \"" << perf_baseline::kCommit << "\",\n"
+      << "    \"event_loop_events_per_sec\": " << perf_baseline::kEventLoopEventsPerSec
+      << ",\n"
+      << "    \"timer_churn_ops_per_sec\": " << perf_baseline::kTimerChurnOpsPerSec << ",\n"
+      << "    \"gro_datapath_packets_per_sec\": "
+      << perf_baseline::kGroDatapathPacketsPerSec << "\n"
+      << "  },\n"
+      << "  \"current\": {\n"
+      << "    \"event_loop_events_per_sec\": " << r.events_per_sec << ",\n"
+      << "    \"timer_churn_ops_per_sec\": " << r.churn_ops_per_sec << ",\n"
+      << "    \"gro_datapath_packets_per_sec\": " << r.packets_per_sec << "\n"
+      << "  },\n"
+      << "  \"speedup\": {\n"
+      << "    \"event_loop\": "
+      << Ratio(r.events_per_sec, perf_baseline::kEventLoopEventsPerSec) << ",\n"
+      << "    \"timer_churn\": "
+      << Ratio(r.churn_ops_per_sec, perf_baseline::kTimerChurnOpsPerSec) << ",\n"
+      << "    \"gro_datapath\": "
+      << Ratio(r.packets_per_sec, perf_baseline::kGroDatapathPacketsPerSec) << "\n"
+      << "  }\n"
+      << "}\n";
+}
+
+// Minimal schema check: the file parses as one JSON object (brace balance)
+// and contains every metric key the perf trajectory tracks.
+int CheckSchema(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_core --check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  int depth = 0;
+  int max_depth = 0;
+  for (char c : text) {
+    if (c == '{') {
+      max_depth = std::max(max_depth, ++depth);
+    } else if (c == '}') {
+      if (--depth < 0) {
+        std::fprintf(stderr, "perf_core --check: unbalanced braces in %s\n", path.c_str());
+        return 1;
+      }
+    }
+  }
+  if (depth != 0 || max_depth < 2) {
+    std::fprintf(stderr, "perf_core --check: %s is not a nested JSON object\n", path.c_str());
+    return 1;
+  }
+  const char* required[] = {
+      "\"bench\"",         "\"baseline\"",
+      "\"current\"",       "\"speedup\"",
+      "\"commit\"",        "\"event_loop_events_per_sec\"",
+      "\"timer_churn_ops_per_sec\"", "\"gro_datapath_packets_per_sec\"",
+      "\"event_loop\"",    "\"timer_churn\"",
+      "\"gro_datapath\"",
+  };
+  int failures = 0;
+  for (const char* key : required) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "perf_core --check: missing key %s\n", key);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("perf_core --check: %s ok\n", path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool print_header = false;
+  std::string out_path = "BENCH_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--print-baseline-header") == 0) {
+      print_header = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      return CheckSchema(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_core [--smoke] [--out PATH] "
+                   "[--print-baseline-header] [--check PATH]\n");
+      return 2;
+    }
+  }
+
+  const Results r = RunSuite(smoke);
+
+  if (print_header) {
+    std::printf(
+        "// Recorded hot-path baseline for bench/perf_core. Regenerate with\n"
+        "//   perf_core --print-baseline-header > bench/perf_baseline.h\n"
+        "// and note the commit it was measured at.\n"
+        "\n"
+        "#ifndef JUGGLER_BENCH_PERF_BASELINE_H_\n"
+        "#define JUGGLER_BENCH_PERF_BASELINE_H_\n"
+        "\n"
+        "namespace juggler::perf_baseline {\n"
+        "\n"
+        "inline constexpr char kCommit[] = \"FILL_ME\";\n"
+        "inline constexpr double kEventLoopEventsPerSec = %.1f;\n"
+        "inline constexpr double kTimerChurnOpsPerSec = %.1f;\n"
+        "inline constexpr double kGroDatapathPacketsPerSec = %.1f;\n"
+        "\n"
+        "}  // namespace juggler::perf_baseline\n"
+        "\n"
+        "#endif  // JUGGLER_BENCH_PERF_BASELINE_H_\n",
+        r.events_per_sec, r.churn_ops_per_sec, r.packets_per_sec);
+    return 0;
+  }
+
+  std::printf("\n=== perf_core ===\n%s\n\n",
+              smoke ? "(smoke sizes)" : "(full sizes, best of 3)");
+  std::printf("%-32s %16s %16s %10s\n", "metric", "baseline", "current", "speedup");
+  std::printf("%-32s %16.0f %16.0f %9.2fx\n", "event_loop events/sec",
+              perf_baseline::kEventLoopEventsPerSec, r.events_per_sec,
+              Ratio(r.events_per_sec, perf_baseline::kEventLoopEventsPerSec));
+  std::printf("%-32s %16.0f %16.0f %9.2fx\n", "timer_churn ops/sec",
+              perf_baseline::kTimerChurnOpsPerSec, r.churn_ops_per_sec,
+              Ratio(r.churn_ops_per_sec, perf_baseline::kTimerChurnOpsPerSec));
+  std::printf("%-32s %16.0f %16.0f %9.2fx\n", "gro_datapath packets/sec",
+              perf_baseline::kGroDatapathPacketsPerSec, r.packets_per_sec,
+              Ratio(r.packets_per_sec, perf_baseline::kGroDatapathPacketsPerSec));
+  WriteJson(r, out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace juggler
+
+int main(int argc, char** argv) { return juggler::Main(argc, argv); }

@@ -112,6 +112,9 @@ TimeNs Juggler::EvictEntry(FlowEntry* entry) {
   const TimeNs cost = FlushAll(entry, FlushReason::kEviction);
   ++stats_.evictions;
   ListFor(entry->phase)->Remove(entry);
+  if (last_entry_ == entry) {
+    last_entry_ = nullptr;
+  }
   table_.erase(entry->key);
   return cost;
 }
@@ -264,18 +267,45 @@ TimeNs Juggler::Receive(PacketPtr packet) {
   ++stats_.data_packets_in;
   const Packet& p = *packet;
 
-  auto it = table_.find(p.flow);
-  if (it == table_.end()) {
-    // Initial phase (§4.2.1): create the entry, seed seq_next with this
-    // packet's sequence number, enter build-up.
-    FlowEntry* entry = CreateEntry(p.flow, &cost);
-    entry->seq_next = p.seq;
-    bool duplicate = false;
-    cost += InsertPacket(entry, p, &duplicate);
-    cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
-    return cost;
+  FlowEntry* entry = nullptr;
+  if (last_entry_ != nullptr && last_entry_->key == p.flow) {
+    entry = last_entry_;
+  } else {
+    auto it = table_.find(p.flow);
+    if (it == table_.end()) {
+      // Initial phase (§4.2.1): create the entry, seed seq_next with this
+      // packet's sequence number, enter build-up.
+      entry = CreateEntry(p.flow, &cost);
+      last_entry_ = entry;
+      entry->seq_next = p.seq;
+      bool duplicate = false;
+      cost += InsertPacket(entry, p, &duplicate);
+      cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
+      return cost;
+    }
+    entry = it->second.get();
+    last_entry_ = entry;
   }
-  FlowEntry* entry = it->second.get();
+
+  // Head-run extension fast path: the packet continues the in-sequence run
+  // at the head of the queue — what every in-order packet does in every
+  // phase, so this skips the phase dispatch and position search below.
+  // Post-merge flows hold no runs, so reactivation still takes the slow
+  // path. A merge refusal (metadata/size) falls through unchanged.
+  auto& queue = entry->ooo_queue;
+  if (!queue.empty() && queue.front().start_seq() == entry->seq_next &&
+      p.seq == queue.front().end_seq()) {
+    const auto merged = queue.front().TryMerge(p, config_.max_segment_payload);
+    if (merged == SegmentBuilder::MergeResult::kMerged ||
+        merged == SegmentBuilder::MergeResult::kMergedFinal) {
+      jstats_.buffered_bytes_in += p.payload_len;
+      CoalesceForward(&queue, 0, config_.max_segment_payload);
+      if (RunReady(queue.front(), config_.max_segment_payload)) {
+        cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
+      }
+      return cost;
+    }
+  }
 
   if (entry->phase == FlowPhase::kBuildUp) {
     // §4.2.2: seq_next may move backwards while we learn the true minimum.
@@ -444,7 +474,7 @@ Juggler::AuditView Juggler::Audit() const {
 std::vector<Juggler::FlowSnapshot> Juggler::DebugSnapshot() const {
   std::vector<FlowSnapshot> out;
   out.reserve(table_.size());
-  const TimeNs now = ctx_.now ? ctx_.now() : 0;
+  const TimeNs now = ctx_.now != nullptr ? *ctx_.now : 0;
   for (const auto& [key, entry] : table_) {
     out.push_back(FlowSnapshot{key, entry->phase, entry->seq_next, entry->lost_seq,
                                entry->ooo_queue.size(), now - entry->flush_timestamp});

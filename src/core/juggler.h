@@ -216,6 +216,11 @@ class Juggler : public GroEngine {
   JugglerStats jstats_;
 
   std::unordered_map<FiveTuple, std::unique_ptr<FlowEntry>, FiveTupleHash> table_;
+  // Memoizes the entry the last data packet hit. Datacenter RX queues see
+  // long single-flow runs, so this turns the per-packet hash lookup into one
+  // tuple compare on the common path. Pure memoization (entries are heap
+  // pinned by unique_ptr): invalidated only when its entry leaves the table.
+  FlowEntry* last_entry_ = nullptr;
   FlowList active_list_;
   FlowList inactive_list_;
   FlowList loss_list_;

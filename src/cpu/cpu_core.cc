@@ -6,7 +6,7 @@
 
 namespace juggler {
 
-void CpuCore::Submit(TimeNs cost, std::function<void()> done) {
+void CpuCore::Submit(TimeNs cost, EventLoop::Callback done) {
   JUG_CHECK(cost >= 0);
   const TimeNs now = loop_->now();
   const TimeNs start = free_at_ > now ? free_at_ : now;

@@ -14,7 +14,6 @@
 #ifndef JUGGLER_SRC_CPU_CPU_CORE_H_
 #define JUGGLER_SRC_CPU_CPU_CORE_H_
 
-#include <functional>
 #include <string>
 
 #include "src/sim/event_loop.h"
@@ -32,7 +31,7 @@ class CpuCore {
   // Enqueue `cost` ns of work; `done` fires when the work completes. Because
   // the server is FIFO and non-preemptive, completions preserve submission
   // order — required so TCP segments are processed in delivery order.
-  void Submit(TimeNs cost, std::function<void()> done);
+  void Submit(TimeNs cost, EventLoop::Callback done);
 
   // Core time consumed since construction (monotone).
   TimeNs busy_ns() const { return busy_ns_; }

@@ -74,7 +74,7 @@ void FaultStage::Accept(PacketPtr packet) {
   if (p->dup_prob > 0 && rng_.NextBool(p->dup_prob)) {
     // Identical copy, back to back — same id, same metadata, as a replayed
     // frame would be. Delivered after the original.
-    auto dup = std::make_unique<Packet>(*packet);
+    PacketPtr dup = ClonePacket(*packet);
     ++stats_.duplicates;
     sink_->Accept(std::move(packet));
     sink_->Accept(std::move(dup));
@@ -84,8 +84,8 @@ void FaultStage::Accept(PacketPtr packet) {
     const TimeNs spike = rng_.NextInRange(p->delay_min, p->delay_max);
     ++stats_.delayed;
     PacketSink* sink = sink_;
-    auto held = std::make_shared<PacketPtr>(std::move(packet));
-    loop_->Schedule(spike, [sink, held] { sink->Accept(std::move(*held)); });
+    loop_->Schedule(spike,
+                    [sink, p = std::move(packet)]() mutable { sink->Accept(std::move(p)); });
     return;
   }
   ++stats_.passed;

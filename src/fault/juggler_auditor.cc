@@ -21,7 +21,7 @@ JugglerAuditor::JugglerAuditor(std::unique_ptr<Juggler> inner, AuditLog* log)
 
 void JugglerAuditor::set_context(Context ctx) {
   ctx_ = ctx;
-  inner_->set_context(std::move(ctx));
+  inner_->set_context(ctx);
 }
 
 TimeNs JugglerAuditor::Receive(PacketPtr packet) {

@@ -30,35 +30,4 @@ const char* FlushReasonName(FlushReason reason) {
   return "unknown";
 }
 
-Segment GroEngine::ToSegment(const Packet& p) {
-  Segment s;
-  s.flow = p.flow;
-  s.seq = p.seq;
-  s.payload_len = p.payload_len;
-  s.mtu_count = p.payload_len > 0 ? 1 : 0;
-  s.flags = p.flags;
-  s.ack_seq = p.ack_seq;
-  s.ack_rwnd = p.ack_rwnd;
-  s.sack = p.sack;
-  s.ece = p.ece;
-  s.ce_mark = p.ce_mark;
-  s.first_rx_time = p.nic_rx_time;
-  s.last_rx_time = p.nic_rx_time;
-  s.sent_time = p.sent_time;
-  return s;
-}
-
-bool GroEngine::DeliverDirectIfUnmergeable(PacketPtr& packet) {
-  if (packet->is_pure_ack()) {
-    ++stats_.acks_in;
-    Deliver(ToSegment(*packet), FlushReason::kPureAck);
-    return true;
-  }
-  if ((packet->flags & (kFlagSyn | kFlagFin)) != 0) {
-    Deliver(ToSegment(*packet), FlushReason::kFlags);
-    return true;
-  }
-  return false;
-}
-
 }  // namespace juggler

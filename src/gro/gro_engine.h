@@ -20,7 +20,6 @@
 #define JUGGLER_SRC_GRO_GRO_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "src/packet/packet.h"
@@ -65,17 +64,31 @@ struct GroStats {
   }
 };
 
+// What a GRO engine asks of whatever hosts it (an RX queue, a test harness,
+// a bench driver). A plain interface instead of per-callback std::functions:
+// the engine calls through one vtable pointer and reads the clock with one
+// load, which matters at one-to-several calls per received packet.
+class GroHost {
+ public:
+  virtual ~GroHost() = default;
+
+  // Hand a merged segment up the stack.
+  virtual void GroDeliver(Segment segment) = 0;
+
+  // Arm (or re-arm) the engine's single high-resolution timer at an
+  // absolute time; GroEngine::kNoTimer disarms it. The host calls OnTimer()
+  // when it fires.
+  virtual void GroArmTimer(TimeNs when) = 0;
+};
+
 class GroEngine {
  public:
   struct Context {
-    // Current time (the NIC wires this to the event loop).
-    std::function<TimeNs()> now;
-    // Hand a merged segment up the stack.
-    std::function<void(Segment)> deliver;
-    // Arm (or re-arm) the engine's single high-resolution timer at an
-    // absolute time; kNoTimer disarms it. The host calls OnTimer() when it
-    // fires.
-    std::function<void(TimeNs)> arm_timer;
+    // The simulation clock (the NIC wires this to EventLoop::now_ptr();
+    // harnesses point it at a local variable they advance by hand).
+    const TimeNs* now = nullptr;
+    // Receives deliveries and timer arm requests. Must outlive the engine.
+    GroHost* host = nullptr;
   };
 
   static constexpr TimeNs kNoTimer = -1;
@@ -84,7 +97,7 @@ class GroEngine {
 
   // Virtual so decorating engines (e.g. the fault layer's JugglerAuditor)
   // can interpose their own context around an inner engine's.
-  virtual void set_context(Context ctx) { ctx_ = std::move(ctx); }
+  virtual void set_context(Context ctx) { ctx_ = ctx; }
 
   // Process one packet. Ownership transfers to the engine.
   virtual TimeNs Receive(PacketPtr packet) = 0;
@@ -101,7 +114,7 @@ class GroEngine {
   GroStats* mutable_stats() { return &stats_; }
 
  protected:
-  TimeNs Now() const { return ctx_.now(); }
+  TimeNs Now() const { return *ctx_.now; }
 
   void Deliver(Segment segment, FlushReason reason) {
     ++stats_.segments_out;
@@ -110,21 +123,49 @@ class GroEngine {
       ++stats_.data_segments_out;
       stats_.mtus_out += segment.mtu_count;
     }
-    ctx_.deliver(std::move(segment));
+    ctx_.host->GroDeliver(std::move(segment));
   }
 
   void ArmTimer(TimeNs when) {
-    if (ctx_.arm_timer) {
-      ctx_.arm_timer(when);
+    if (ctx_.host != nullptr) {
+      ctx_.host->GroArmTimer(when);
     }
   }
 
   // Common fast path for packets GRO never merges (pure ACKs, SYN/FIN).
-  // Returns true if the packet was handled.
-  bool DeliverDirectIfUnmergeable(PacketPtr& packet);
+  // Returns true if the packet was handled. Inline: engines call this once
+  // per received packet before anything else.
+  bool DeliverDirectIfUnmergeable(PacketPtr& packet) {
+    if (packet->is_pure_ack()) {
+      ++stats_.acks_in;
+      Deliver(ToSegment(*packet), FlushReason::kPureAck);
+      return true;
+    }
+    if ((packet->flags & (kFlagSyn | kFlagFin)) != 0) {
+      Deliver(ToSegment(*packet), FlushReason::kFlags);
+      return true;
+    }
+    return false;
+  }
 
   // Converts a single packet into a one-MTU segment.
-  static Segment ToSegment(const Packet& p);
+  static Segment ToSegment(const Packet& p) {
+    Segment s;
+    s.flow = p.flow;
+    s.seq = p.seq;
+    s.payload_len = p.payload_len;
+    s.mtu_count = p.payload_len > 0 ? 1 : 0;
+    s.flags = p.flags;
+    s.ack_seq = p.ack_seq;
+    s.ack_rwnd = p.ack_rwnd;
+    s.sack = p.sack;
+    s.ece = p.ece;
+    s.ce_mark = p.ce_mark;
+    s.first_rx_time = p.nic_rx_time;
+    s.last_rx_time = p.nic_rx_time;
+    s.sent_time = p.sent_time;
+    return s;
+  }
 
   Context ctx_;
   GroStats stats_;

@@ -121,12 +121,11 @@ void Link::OnTransmitDone() {
   stats_.bytes_tx += static_cast<uint64_t>(wire);
   transmitting_ = false;
   if (config_.propagation_delay > 0) {
-    // Hand the packet off after flight time. The shared holder keeps the
-    // callback copyable and frees the packet if the loop dies first.
+    // Hand the packet off after flight time; the move-only callback owns the
+    // packet in flight (freed if the loop is destroyed first).
     PacketSink* sink = sink_;
-    auto held = std::make_shared<PacketPtr>(std::move(packet));
     loop_->Schedule(config_.propagation_delay,
-                    [sink, held] { sink->Accept(std::move(*held)); });
+                    [sink, p = std::move(packet)]() mutable { sink->Accept(std::move(p)); });
   } else {
     sink_->Accept(std::move(packet));
   }

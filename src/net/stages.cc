@@ -24,10 +24,8 @@ void ReorderStage::Accept(PacketPtr packet) {
   }
   lane_last_out_[lane] = out;
   PacketSink* sink = sink_;
-  // Shared holder keeps the callback copyable while still freeing the packet
-  // if the loop is destroyed before the event fires.
-  auto held = std::make_shared<PacketPtr>(std::move(packet));
-  loop_->ScheduleAt(out, [sink, held] { sink->Accept(std::move(*held)); });
+  loop_->ScheduleAt(out,
+                    [sink, p = std::move(packet)]() mutable { sink->Accept(std::move(p)); });
 }
 
 }  // namespace juggler

@@ -11,27 +11,28 @@ NicRx::NicRx(EventLoop* loop, const CpuCostModel* costs, const NicRxConfig& conf
     : loop_(loop), costs_(costs), config_(config), sink_(sink) {
   JUG_CHECK(config_.num_queues >= 1);
   for (size_t i = 0; i < config_.num_queues; ++i) {
-    auto q = std::make_unique<RxQueue>(loop, i);
+    auto q = std::make_unique<RxQueue>(this, loop, i);
     q->gro = gro_factory(costs);
-    RxQueue* raw = q.get();
     GroEngine::Context ctx;
-    ctx.now = [loop] { return loop->now(); };
-    ctx.deliver = [raw](Segment s) { raw->pending_segments.push_back(std::move(s)); };
-    ctx.arm_timer = [this, raw](TimeNs when) {
-      loop_->Cancel(raw->gro_timer);
-      raw->gro_timer = kInvalidTimerId;
-      if (when == GroEngine::kNoTimer) {
-        return;
-      }
-      const TimeNs at = when > loop_->now() ? when : loop_->now();
-      raw->gro_timer = loop_->ScheduleAt(at, [this, raw] {
-        raw->gro_timer = kInvalidTimerId;
-        OnGroTimer(raw);
-      });
-    };
-    q->gro->set_context(std::move(ctx));
+    ctx.now = loop->now_ptr();
+    ctx.host = q.get();
+    q->gro->set_context(ctx);
     queues_.push_back(std::move(q));
   }
+}
+
+void NicRx::RxQueue::GroArmTimer(TimeNs when) {
+  EventLoop* loop = nic->loop_;
+  loop->Cancel(gro_timer);
+  gro_timer = kInvalidTimerId;
+  if (when == GroEngine::kNoTimer) {
+    return;
+  }
+  const TimeNs at = when > loop->now() ? when : loop->now();
+  gro_timer = loop->ScheduleAt(at, [this] {
+    gro_timer = kInvalidTimerId;
+    nic->OnGroTimer(this);
+  });
 }
 
 NicRx::~NicRx() = default;

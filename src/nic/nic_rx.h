@@ -22,6 +22,7 @@
 #define JUGGLER_SRC_NIC_NIC_RX_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -88,7 +89,10 @@ class NicRx : public PacketSink {
   GroStats TotalGroStats() const;
 
  private:
-  struct RxQueue {
+  // Each queue is its engine's GroHost: deliveries buffer into the queue's
+  // pending list and timer arming goes through the owning NicRx's loop.
+  struct RxQueue : public GroHost {
+    NicRx* nic;
     size_t index;
     std::deque<PacketPtr> ring;
     std::unique_ptr<GroEngine> gro;
@@ -100,8 +104,13 @@ class NicRx : public PacketSink {
     bool polling = false;
     TimerId gro_timer = kInvalidTimerId;
 
-    RxQueue(EventLoop* loop, size_t i)
-        : index(i), core(loop, "rx_core_" + std::to_string(i)) {}
+    RxQueue(NicRx* n, EventLoop* loop, size_t i)
+        : nic(n), index(i), core(loop, "rx_core_" + std::to_string(i)) {}
+
+    void GroDeliver(Segment segment) override {
+      pending_segments.push_back(std::move(segment));
+    }
+    void GroArmTimer(TimeNs when) override;
   };
 
   void ScheduleInterrupt(RxQueue* q);

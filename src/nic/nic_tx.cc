@@ -63,8 +63,8 @@ void NicTx::Transmit(PacketPtr packet) {
     return;
   }
   PacketSink* wire = wire_;
-  auto held = std::make_shared<PacketPtr>(std::move(packet));
-  loop_->ScheduleAt(release, [wire, held] { wire->Accept(std::move(*held)); });
+  loop_->ScheduleAt(release,
+                    [wire, p = std::move(packet)]() mutable { wire->Accept(std::move(p)); });
 }
 
 }  // namespace juggler

@@ -1,11 +1,37 @@
 #include "src/packet/packet.h"
 
-// Packet and Segment are header-only value types; this translation unit
-// exists to anchor the jug_packet library.
-
 namespace juggler {
 
 static_assert(kMss + kPerPacketWireOverhead > kMtuBytes,
               "wire frame must cover the MTU plus framing overhead");
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "Packet reset in PacketPool::Acquire relies on trivial copyability");
+
+constinit thread_local PacketPool* PacketPool::tls_pool_ = nullptr;
+
+PacketPool& PacketPool::CreateForThread() {
+  // One pool per thread: sweep-runner workers each recycle privately, and
+  // the pool lives until thread exit, past any simulation state that could
+  // still hold packets.
+  thread_local PacketPool pool;
+  tls_pool_ = &pool;
+  return pool;
+}
+
+PacketPool::~PacketPool() {
+  for (Packet* p : free_) {
+    delete p;
+  }
+  if (tls_pool_ == this) {
+    tls_pool_ = nullptr;  // later releases on this thread free directly
+  }
+}
+
+void PacketPool::Trim() {
+  for (Packet* p : free_) {
+    delete p;
+  }
+  free_.clear();
+}
 
 }  // namespace juggler

@@ -5,13 +5,23 @@
 // them. A Packet models one wire MTU (or a pure ACK); a Segment models the
 // sk_buff handed up the stack by GRO — one contiguous byte range plus the
 // count of MTUs merged into it (the frags[] array of Figure 3).
+//
+// Allocation: packets are recycled through a freelist-backed PacketPool, one
+// per thread, behind a custom unique_ptr deleter. The simulator allocates one
+// Packet per simulated MTU — hundreds of millions per long bench — so the
+// steady state must not touch the allocator. PacketPtr stays 8 bytes (the
+// deleter is stateless: it returns storage to its thread's pool), lifetime is
+// safe by construction (the pool outlives every object that can hold a
+// packet on its thread), and each sweep-runner worker gets a private pool, so
+// recycling needs no locks.
 
 #ifndef JUGGLER_SRC_PACKET_PACKET_H_
 #define JUGGLER_SRC_PACKET_PACKET_H_
 
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "src/util/seq.h"
 #include "src/util/time.h"
@@ -90,7 +100,9 @@ struct SackBlocks {
   }
 };
 
-struct Packet {
+// Cache-line aligned: at 112 bytes a Packet rounds to exactly two lines, so
+// the recycle-reset and per-field writes never straddle a third line.
+struct alignas(64) Packet {
   uint64_t id = 0;  // globally unique, for tracing
   FiveTuple flow;
 
@@ -127,14 +139,110 @@ struct Packet {
   uint32_t wire_bytes() const { return payload_len + kPerPacketWireOverhead; }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Returns a released Packet's storage to the calling thread's PacketPool.
+// Stateless so PacketPtr is pointer-sized.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// Per-thread freelist of Packet storage. All packets on a thread — from any
+// PacketFactory, test helper or clone — recycle through the same pool, so
+// steady-state traffic performs zero allocations. Storage is plain `new
+// Packet`, individually owned, so the freelist may also absorb packets that
+// were constructed outside the pool.
+class PacketPool {
+ public:
+  // The thread's pool. The cached pointer is trivially-initialized TLS, so
+  // the hot path is one thread-relative load — no init-guard check, no call
+  // into the TU that owns the pool (this accessor runs twice per simulated
+  // packet).
+  static PacketPool& ThreadLocal() {
+    PacketPool* pool = tls_pool_;
+    if (pool == nullptr) [[unlikely]] {
+      pool = &CreateForThread();
+    }
+    return *pool;
+  }
+
+  // Deleter entry point: pools the storage, or frees it outright when the
+  // thread's pool is already gone (releases during thread teardown).
+  static void ReleaseToThreadPool(Packet* p) noexcept {
+    PacketPool* pool = tls_pool_;
+    if (pool != nullptr) [[likely]] {
+      pool->Release(p);
+    } else {
+      delete p;
+    }
+  }
+
+  ~PacketPool();
+
+  // Pops recycled storage (or allocates) and resets it to default state.
+  // Only `acquired_` is maintained inline; the allocator-miss count lives on
+  // the cold branch so the steady state pays one counter update per packet.
+  Packet* Acquire() {
+    ++acquired_;
+    if (free_.empty()) {
+      ++fresh_;
+      return new Packet;
+    }
+    Packet* p = free_.back();
+    free_.pop_back();
+    // Recycled storage must look freshly constructed. memset + two fixups
+    // vectorizes where the member-wise `*p = Packet{}` emits scalar stores;
+    // packet_test pins the equivalence against a default-constructed Packet.
+    std::memset(static_cast<void*>(p), 0, sizeof(Packet));
+    p->flow.protocol = 6;
+    p->priority = Priority::kLow;
+    return p;
+  }
+
+  void Release(Packet* p) noexcept { free_.push_back(p); }
+
+  // Frees the freelist's storage (keeps stats). Outstanding packets are
+  // unaffected; they re-enter the (now empty) freelist when released.
+  void Trim();
+
+  uint64_t acquired() const { return acquired_; }
+  // Acquisitions served from the freelist rather than the allocator.
+  uint64_t recycled() const { return acquired_ - fresh_; }
+  size_t free_size() const { return free_.size(); }
+
+ private:
+  // Cold path: constructs the calling thread's pool and caches its address.
+  static PacketPool& CreateForThread();
+
+  // constinit: provably no dynamic initialization, so access compiles to a
+  // bare thread-relative load instead of a call to the TLS init wrapper.
+  static constinit thread_local PacketPool* tls_pool_;
+
+  std::vector<Packet*> free_;
+  uint64_t acquired_ = 0;
+  uint64_t fresh_ = 0;  // acquisitions that had to hit the allocator
+};
+
+inline void PacketDeleter::operator()(Packet* p) const noexcept {
+  PacketPool::ReleaseToThreadPool(p);
+}
+
+// A default-initialized packet from the calling thread's pool.
+inline PacketPtr AllocPacket() { return PacketPtr(PacketPool::ThreadLocal().Acquire()); }
+
+// A pooled copy of `src` (used for duplication faults and test fixtures).
+inline PacketPtr ClonePacket(const Packet& src) {
+  PacketPtr p = AllocPacket();
+  *p = src;
+  return p;
+}
 
 // Allocates packets with unique ids. One factory per experiment keeps id
-// assignment deterministic.
+// assignment deterministic; storage comes from the thread's PacketPool.
 class PacketFactory {
  public:
   PacketPtr Make() {
-    auto p = std::make_unique<Packet>();
+    PacketPtr p = AllocPacket();
     p->id = next_id_++;
     return p;
   }

@@ -10,10 +10,21 @@ namespace juggler {
 
 TimerId EventLoop::ScheduleAt(TimeNs when, Callback cb) {
   JUG_CHECK(when >= now_);
-  const TimerId id = next_id_++;
-  heap_.push_back(Event{when, next_order_++, id, std::move(cb)});
+  uint32_t index;
+  if (free_slots_.empty()) {
+    index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  TimerSlot& slot = slots_[index];
+  slot.armed = true;
+  slot.cb = std::move(cb);
+  ++live_timers_;
+  const TimerId id = MakeId(index, slot.generation);
+  heap_.push_back(Event{when, next_order_++, id});
   std::push_heap(heap_.begin(), heap_.end(), EventLater{});
-  pending_ids_.insert(id);
   return id;
 }
 
@@ -21,10 +32,15 @@ void EventLoop::Cancel(TimerId id) {
   if (id == kInvalidTimerId) {
     return;
   }
-  if (pending_ids_.erase(id) > 0) {
-    ++dead_in_heap_;
-    MaybeCompact();
+  const uint32_t index = SlotIndexOf(id);
+  if (index >= slots_.size() || slots_[index].generation != GenerationOf(id) ||
+      !slots_[index].armed) {
+    return;  // already fired, already cancelled, or never valid
   }
+  slots_[index].cb.Reset();  // free captured resources at cancel time
+  ReleaseSlot(index);
+  ++dead_in_heap_;
+  MaybeCompact();
 }
 
 void EventLoop::MaybeCompact() {
@@ -33,7 +49,7 @@ void EventLoop::MaybeCompact() {
   if (dead_in_heap_ < 1024 || dead_in_heap_ * 2 < heap_.size()) {
     return;
   }
-  std::erase_if(heap_, [this](const Event& e) { return !pending_ids_.contains(e.id); });
+  std::erase_if(heap_, [this](const Event& e) { return !IsLive(e.id); });
   std::make_heap(heap_.begin(), heap_.end(), EventLater{});
   dead_in_heap_ = 0;
 }
@@ -44,19 +60,21 @@ bool EventLoop::RunOne(TimeNs deadline) {
       return false;
     }
     std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
-    Event event = std::move(heap_.back());
+    const Event event = heap_.back();
     heap_.pop_back();
     // Lazily skip cancelled events.
-    if (!pending_ids_.contains(event.id)) {
+    if (!IsLive(event.id)) {
       JUG_CHECK(dead_in_heap_ > 0);
       --dead_in_heap_;
       continue;
     }
     JUG_CHECK(event.when >= now_);
     now_ = event.when;
-    pending_ids_.erase(event.id);
+    const uint32_t index = SlotIndexOf(event.id);
+    TimerCallback cb = std::move(slots_[index].cb);
+    ReleaseSlot(index);
     ++executed_;
-    event.cb();
+    cb();
     return true;
   }
   return false;

@@ -5,37 +5,57 @@
 // at the same timestamp fire in scheduling order (a monotonically increasing
 // tie-break id), which makes every experiment deterministic.
 //
-// Timers are cancellable: Schedule() returns a TimerId and Cancel() marks the
-// entry dead (lazy deletion — the heap entry is discarded when popped). So
-// that long soak runs stay bounded, the loop tracks how many dead entries the
-// heap holds and compacts it in place once they dominate: components that
-// arm-and-cancel timers millions of times (TCP RTO, GRO hrtimers) cost O(live
-// timers) memory, not O(cancellations).
+// Hot-path layout (the loop executes one event per simulated packet or more,
+// so per-operation constants decide every experiment's wall clock):
+//
+//  * Callbacks are TimerCallback (small-buffer optimized, move-only): a
+//    capture up to 48 bytes costs no allocation, and move-only captures
+//    (PacketPtr) are allowed, so packets ride timers directly instead of in
+//    shared_ptr holders.
+//  * Timer identity is a generation-tagged slot: TimerId packs (generation,
+//    slot index). Schedule/Cancel/fire touch a flat slot vector — no hash
+//    set insert/erase per timer as the old `pending_ids_` design did. A
+//    slot's generation bumps on every release, so a stale id (cancelled or
+//    already fired) simply fails the generation match.
+//  * Heap entries are 24-byte PODs ({when, order, id}); the callback stays
+//    in the slot, so heap sift operations move trivial values only.
+//
+// Timers are cancellable: Schedule() returns a TimerId and Cancel() releases
+// the slot immediately (the callback's resources are freed at cancel time);
+// the heap entry is discarded lazily when popped. So that long soak runs
+// stay bounded, the loop tracks how many dead entries the heap holds and
+// compacts it in place once they dominate: components that arm-and-cancel
+// timers millions of times (TCP RTO, GRO hrtimers) cost O(live timers)
+// memory, not O(cancellations).
 
 #ifndef JUGGLER_SRC_SIM_EVENT_LOOP_H_
 #define JUGGLER_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "src/sim/inline_callback.h"
 #include "src/util/time.h"
 
 namespace juggler {
 
+// Packs (generation << 32 | slot index + 1); 0 is never a valid id.
 using TimerId = uint64_t;
 inline constexpr TimerId kInvalidTimerId = 0;
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = TimerCallback;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   TimeNs now() const { return now_; }
+
+  // Stable address of the simulation clock, for components that read the
+  // time on every packet (the GRO context): one load, no call.
+  const TimeNs* now_ptr() const { return &now_; }
 
   // Schedule `cb` to run `delay` (>= 0) after the current time.
   TimerId Schedule(TimeNs delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
@@ -47,7 +67,11 @@ class EventLoop {
   // no-op, which keeps call sites simple ("cancel whatever might be armed").
   void Cancel(TimerId id);
 
-  bool IsPending(TimerId id) const { return pending_ids_.contains(id); }
+  bool IsPending(TimerId id) const {
+    const uint32_t index = SlotIndexOf(id);
+    return index < slots_.size() && slots_[index].generation == GenerationOf(id) &&
+           slots_[index].armed;
+  }
 
   // Run until the event queue drains.
   void Run();
@@ -62,18 +86,19 @@ class EventLoop {
   // Heap entries, including not-yet-reclaimed cancelled ones.
   size_t pending_events() const { return heap_.size(); }
   // Live (schedulable, not cancelled, not fired) timer ids.
-  size_t pending_timer_ids() const { return pending_ids_.size(); }
+  size_t pending_timer_ids() const { return live_timers_; }
   uint64_t executed_events() const { return executed_; }
 
   // Request that Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 
  private:
+  // Trivial heap entry: the callback stays in its slot so sift operations
+  // move 24 bytes, not a callable.
   struct Event {
     TimeNs when;
     uint64_t order;  // tie-break: FIFO among equal timestamps
     TimerId id;
-    Callback cb;
   };
 
   struct EventLater {
@@ -85,6 +110,34 @@ class EventLoop {
     }
   };
 
+  struct TimerSlot {
+    uint32_t generation = 1;
+    bool armed = false;
+    TimerCallback cb;
+  };
+
+  static uint32_t SlotIndexOf(TimerId id) { return static_cast<uint32_t>(id) - 1; }
+  static uint32_t GenerationOf(TimerId id) { return static_cast<uint32_t>(id >> 32); }
+  static TimerId MakeId(uint32_t index, uint32_t generation) {
+    return (static_cast<TimerId>(generation) << 32) | (index + 1);
+  }
+
+  // True when the heap entry's id still names a live timer.
+  bool IsLive(TimerId id) const {
+    const uint32_t index = SlotIndexOf(id);
+    return slots_[index].generation == GenerationOf(id) && slots_[index].armed;
+  }
+
+  // Frees `index` for reuse; the generation bump invalidates outstanding
+  // ids (the not-yet-popped heap entry, stale handles held by components).
+  void ReleaseSlot(uint32_t index) {
+    TimerSlot& slot = slots_[index];
+    slot.armed = false;
+    ++slot.generation;
+    free_slots_.push_back(index);
+    --live_timers_;
+  }
+
   // Pops and runs one event; returns false when the queue is empty or the
   // next event is after `deadline`.
   bool RunOne(TimeNs deadline);
@@ -95,11 +148,12 @@ class EventLoop {
 
   // Binary heap ordered by EventLater (front = earliest event).
   std::vector<Event> heap_;
-  std::unordered_set<TimerId> pending_ids_;  // ids scheduled and not yet fired/cancelled
-  size_t dead_in_heap_ = 0;                  // cancelled entries still in heap_
+  std::vector<TimerSlot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_timers_ = 0;
+  size_t dead_in_heap_ = 0;  // cancelled entries still in heap_
   TimeNs now_ = 0;
   uint64_t next_order_ = 0;
-  TimerId next_id_ = 1;
   uint64_t executed_ = 0;
   bool stopped_ = false;
 };

@@ -1,0 +1,16 @@
+#include "src/sim/sweep_runner.h"
+
+namespace juggler {
+
+size_t SweepWorkerCount(size_t num_points, size_t num_threads) {
+  size_t workers = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  if (workers == 0) {
+    workers = 1;
+  }
+  if (workers > num_points) {
+    workers = num_points;
+  }
+  return workers;
+}
+
+}  // namespace juggler

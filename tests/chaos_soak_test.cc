@@ -11,7 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/scenario/chaos_scenario.h"
+#include "src/sim/sweep_runner.h"
 
 namespace juggler {
 namespace {
@@ -81,6 +84,32 @@ TEST(ChaosSoakTest, SameSeedBitIdenticalDigest) {
     EXPECT_EQ(r1.juggler.digest, r2.juggler.digest) << FaultFamilyName(family);
     EXPECT_EQ(r1.baseline.digest, r2.baseline.digest) << FaultFamilyName(family);
     EXPECT_EQ(r1.juggler.finish_time, r2.juggler.finish_time) << FaultFamilyName(family);
+  }
+}
+
+TEST(ChaosSoakTest, DigestsIdenticalAcrossSweepThreads) {
+  // The parallel sweep runner gives every worker thread its own PacketPool
+  // and each point builds its own world, so a chaos run's digest must not
+  // depend on which thread (or how warm a pool) executed it. Run the same
+  // points sequentially and on a multi-threaded sweep; bit-identical digests
+  // are required.
+  const FaultFamily families[] = {FaultFamily::kDropBurst, FaultFamily::kDuplicate,
+                                  FaultFamily::kDelaySpike};
+  auto point = [&families](size_t i) {
+    ChaosOptions opt;
+    opt.seed = 11;
+    opt.family = families[i];
+    return RunChaos(opt);
+  };
+  const std::vector<ChaosResult> sequential = RunSweep(3, point, /*num_threads=*/1);
+  const std::vector<ChaosResult> threaded = RunSweep(3, point, /*num_threads=*/3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sequential[i].juggler.digest, threaded[i].juggler.digest)
+        << FaultFamilyName(families[i]);
+    EXPECT_EQ(sequential[i].baseline.digest, threaded[i].baseline.digest)
+        << FaultFamilyName(families[i]);
+    EXPECT_EQ(sequential[i].juggler.finish_time, threaded[i].juggler.finish_time)
+        << FaultFamilyName(families[i]);
   }
 }
 

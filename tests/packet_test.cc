@@ -40,6 +40,112 @@ TEST(PacketTest, FactoryAssignsUniqueIds) {
   EXPECT_EQ(f.allocated(), 2u);
 }
 
+TEST(PacketPoolTest, RecyclesStorage) {
+  PacketPool& pool = PacketPool::ThreadLocal();
+  const uint64_t acquired_before = pool.acquired();
+  const uint64_t recycled_before = pool.recycled();
+
+  Packet* raw;
+  {
+    PacketPtr p = AllocPacket();
+    raw = p.get();
+  }  // released back to the pool
+  EXPECT_GE(pool.free_size(), 1u);
+
+  // LIFO freelist: the very next acquire reuses the just-released storage.
+  PacketPtr q = AllocPacket();
+  EXPECT_EQ(q.get(), raw);
+  EXPECT_EQ(pool.acquired(), acquired_before + 2);
+  EXPECT_EQ(pool.recycled(), recycled_before + 1);
+}
+
+// Dirties every field of `p` so a lazy reset would be caught.
+void DirtyAllFields(Packet* p) {
+  p->id = 0xdeadbeef;
+  p->flow = FiveTuple{1, 2, 3, 4, 17};
+  p->seq = 99;
+  p->payload_len = 1448;
+  p->flags = kFlagAck | kFlagPsh | kFlagFin;
+  p->ack_seq = 77;
+  p->ack_rwnd = 65535;
+  p->sack.Add(10, 20);
+  p->sack.Add(30, 40);
+  p->ece = true;
+  p->options_token = 5;
+  p->ce_mark = true;
+  p->corrupted = true;
+  p->priority = Priority::kHigh;
+  p->tso_id = 42;
+  p->sent_time = 123;
+  p->nic_rx_time = 456;
+}
+
+TEST(PacketPoolTest, RecycledPacketMatchesDefaultConstructed) {
+  // Pins the memset-plus-fixups reset in PacketPool::Acquire: a recycled
+  // packet must be indistinguishable from `Packet{}` in every field. If a
+  // non-zero default is ever added to Packet without a matching fixup in
+  // Acquire, this test fails.
+  Packet* raw;
+  {
+    PacketPtr p = AllocPacket();
+    DirtyAllFields(p.get());
+    raw = p.get();
+  }
+  PacketPtr q = AllocPacket();
+  ASSERT_EQ(q.get(), raw);  // storage actually recycled
+
+  const Packet fresh{};
+  EXPECT_EQ(q->id, fresh.id);
+  EXPECT_EQ(q->flow, fresh.flow);
+  EXPECT_EQ(q->flow.protocol, 6);  // non-zero default, fixed up after memset
+  EXPECT_EQ(q->seq, fresh.seq);
+  EXPECT_EQ(q->payload_len, fresh.payload_len);
+  EXPECT_EQ(q->flags, fresh.flags);
+  EXPECT_EQ(q->ack_seq, fresh.ack_seq);
+  EXPECT_EQ(q->ack_rwnd, fresh.ack_rwnd);
+  EXPECT_EQ(q->sack.count, fresh.sack.count);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q->sack.start[i], fresh.sack.start[i]);
+    EXPECT_EQ(q->sack.end[i], fresh.sack.end[i]);
+  }
+  EXPECT_EQ(q->ece, fresh.ece);
+  EXPECT_EQ(q->options_token, fresh.options_token);
+  EXPECT_EQ(q->ce_mark, fresh.ce_mark);
+  EXPECT_EQ(q->corrupted, fresh.corrupted);
+  EXPECT_EQ(q->priority, fresh.priority);  // non-zero default (kLow), fixed up
+  EXPECT_EQ(q->tso_id, fresh.tso_id);
+  EXPECT_EQ(q->sent_time, fresh.sent_time);
+  EXPECT_EQ(q->nic_rx_time, fresh.nic_rx_time);
+}
+
+TEST(PacketPoolTest, ClonePacketCopiesAllFields) {
+  PacketPtr src = AllocPacket();
+  DirtyAllFields(src.get());
+  PacketPtr copy = ClonePacket(*src);
+  EXPECT_NE(copy.get(), src.get());
+  EXPECT_EQ(copy->id, src->id);
+  EXPECT_EQ(copy->flow, src->flow);
+  EXPECT_EQ(copy->seq, src->seq);
+  EXPECT_EQ(copy->payload_len, src->payload_len);
+  EXPECT_EQ(copy->flags, src->flags);
+  EXPECT_EQ(copy->priority, src->priority);
+  EXPECT_EQ(copy->tso_id, src->tso_id);
+  EXPECT_EQ(copy->sack.count, src->sack.count);
+}
+
+TEST(PacketPoolTest, TrimFreesStorageKeepsStats) {
+  PacketPool& pool = PacketPool::ThreadLocal();
+  { PacketPtr p = AllocPacket(); }
+  ASSERT_GE(pool.free_size(), 1u);
+  const uint64_t acquired = pool.acquired();
+  pool.Trim();
+  EXPECT_EQ(pool.free_size(), 0u);
+  EXPECT_EQ(pool.acquired(), acquired);
+  // The pool still serves (now freshly allocated) packets after a trim.
+  PacketPtr p = AllocPacket();
+  EXPECT_NE(p.get(), nullptr);
+}
+
 TEST(SegmentBuilderTest, StartFromPacket) {
   SegmentBuilder b;
   EXPECT_TRUE(b.empty());

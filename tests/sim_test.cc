@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/sim/event_loop.h"
+#include "src/sim/sweep_runner.h"
 
 namespace juggler {
 namespace {
@@ -186,6 +187,90 @@ TEST(EventLoopTest, MixedCancelAndFireKeepsHeapCompact) {
     ASSERT_LT(loop.pending_events(), 3000u);
   }
   EXPECT_EQ(fires, 500'000u);
+}
+
+TEST(EventLoopTest, SameTimestampFifoSurvivesCompaction) {
+  // Heap compaction rebuilds the heap in place; it must preserve the
+  // scheduling-order tie-break for events at equal timestamps. Interleave
+  // each live timer with enough far-future cancellations that dead entries
+  // dominate and compaction provably runs mid-sequence.
+  EventLoop loop;
+  std::vector<int> order;
+  constexpr int kLive = 200;
+  for (int i = 0; i < kLive; ++i) {
+    loop.ScheduleAt(1'000'000, [&order, i] { order.push_back(i); });
+    std::vector<TimerId> doomed;
+    for (int d = 0; d < 50; ++d) {
+      doomed.push_back(loop.Schedule(2'000'000'000, [] {}));
+    }
+    for (TimerId id : doomed) {
+      loop.Cancel(id);
+    }
+  }
+  // 10000 cancellations went through, but the heap retains at most the
+  // compaction threshold of dead entries: compaction provably ran.
+  EXPECT_LE(loop.pending_events(), static_cast<size_t>(kLive) + 1024);
+  loop.Run();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kLive));
+  for (int i = 0; i < kLive; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i) << "FIFO order broken at " << i;
+  }
+}
+
+TEST(EventLoopTest, CancelledSlotReuseInvalidatesStaleId) {
+  // Cancelling frees the slot for reuse; the generation bump must make the
+  // stale id inert so a late Cancel cannot kill the slot's new occupant.
+  EventLoop loop;
+  uint64_t fires = 0;
+  const TimerId stale = loop.Schedule(10, [&fires] { ++fires; });
+  loop.Cancel(stale);
+  EXPECT_FALSE(loop.IsPending(stale));
+
+  const TimerId live = loop.Schedule(10, [&fires] { ++fires; });
+  ASSERT_NE(live, stale);  // same slot, new generation
+  loop.Cancel(stale);      // stale id: must be a no-op
+  EXPECT_TRUE(loop.IsPending(live));
+  loop.Run();
+  EXPECT_EQ(fires, 1u);
+
+  // After firing, both ids are dead; cancelling either is still a no-op.
+  loop.Cancel(live);
+  loop.Cancel(stale);
+  EXPECT_EQ(loop.pending_timer_ids(), 0u);
+}
+
+TEST(SweepRunnerTest, WorkerCountRespectsBounds) {
+  EXPECT_EQ(SweepWorkerCount(/*num_points=*/10, /*num_threads=*/4), 4u);
+  EXPECT_EQ(SweepWorkerCount(/*num_points=*/2, /*num_threads=*/8), 2u);
+  EXPECT_GE(SweepWorkerCount(/*num_points=*/100, /*num_threads=*/0), 1u);
+  EXPECT_EQ(SweepWorkerCount(/*num_points=*/1, /*num_threads=*/0), 1u);
+}
+
+TEST(SweepRunnerTest, ResultsIndexedByPoint) {
+  const std::vector<size_t> r = RunSweep(64, [](size_t i) { return i * i; },
+                                         /*num_threads=*/4);
+  ASSERT_EQ(r.size(), 64u);
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i], i * i);
+  }
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSequentialSimulation) {
+  // Each point runs its own EventLoop to completion; the per-point result
+  // must be a pure function of the point index regardless of worker count.
+  auto point = [](size_t i) {
+    EventLoop loop;
+    uint64_t acc = 0;
+    for (uint64_t k = 0; k < 100; ++k) {
+      loop.Schedule(static_cast<TimeNs>((k * (i + 1)) % 37),
+                    [&acc, k, i] { acc = acc * 31 + k + i; });
+    }
+    loop.Run();
+    return acc;
+  };
+  const std::vector<uint64_t> sequential = RunSweep(32, point, /*num_threads=*/1);
+  const std::vector<uint64_t> parallel = RunSweep(32, point, /*num_threads=*/4);
+  EXPECT_EQ(sequential, parallel);
 }
 
 }  // namespace

@@ -27,7 +27,7 @@ inline FiveTuple TestFlow(uint16_t src_port = 1000, uint16_t dst_port = 2000) {
 
 inline PacketPtr MakeDataPacket(const FiveTuple& flow, Seq seq, uint32_t len,
                                 uint8_t flags = kFlagAck, TimeNs rx_time = 0) {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = AllocPacket();
   p->flow = flow;
   p->seq = seq;
   p->payload_len = len;
@@ -37,7 +37,7 @@ inline PacketPtr MakeDataPacket(const FiveTuple& flow, Seq seq, uint32_t len,
 }
 
 inline PacketPtr MakeAckPacket(const FiveTuple& flow, Seq ack, uint32_t rwnd = 1 << 20) {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = AllocPacket();
   p->flow = flow;
   p->seq = 0;
   p->payload_len = 0;
@@ -49,18 +49,20 @@ inline PacketPtr MakeAckPacket(const FiveTuple& flow, Seq ack, uint32_t rwnd = 1
 
 // Drives a GroEngine directly: the test controls the clock, observes
 // delivered segments, and fires the engine's timer by hand.
-class GroHarness {
+class GroHarness : public GroHost {
  public:
   // `make` is a factory (const CpuCostModel*) -> std::unique_ptr<GroEngine>;
   // the harness owns the cost model the engine points at.
   template <typename MakeFn>
   explicit GroHarness(MakeFn make) : engine_(make(&costs_)) {
     GroEngine::Context ctx;
-    ctx.now = [this] { return now_; };
-    ctx.deliver = [this](Segment s) { delivered_.push_back(std::move(s)); };
-    ctx.arm_timer = [this](TimeNs when) { armed_timer_ = when; };
-    engine_->set_context(std::move(ctx));
+    ctx.now = &now_;
+    ctx.host = this;
+    engine_->set_context(ctx);
   }
+
+  void GroDeliver(Segment s) override { delivered_.push_back(std::move(s)); }
+  void GroArmTimer(TimeNs when) override { armed_timer_ = when; }
 
   void set_now(TimeNs t) { now_ = t; }
   void Advance(TimeNs dt) { now_ += dt; }
