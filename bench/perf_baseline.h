@@ -16,6 +16,13 @@ inline constexpr double kEventLoopEventsPerSec = 14268317.0;
 inline constexpr double kTimerChurnOpsPerSec = 18594931.0;
 inline constexpr double kGroDatapathPacketsPerSec = 19435172.0;
 
+// bench/perf_fabric reference: 32-host Clos bulk transfer at ONE worker on
+// the sharded engine, measured at commit d6524ca's successor (the commit
+// that introduced the bench — there is no pre-sharding number for a bench
+// of the sharded engine). Release+LTO, 1-hardware-thread machine, so the
+// recorded scaling curve is flat; remeasure the curve on a multi-core box.
+inline constexpr double kFabricClosPacketsPerSec = 1046273.0;
+
 }  // namespace juggler::perf_baseline
 
 #endif  // JUGGLER_BENCH_PERF_BASELINE_H_

@@ -194,6 +194,39 @@ Results RunSuite(bool smoke) {
 
 double Ratio(double cur, double base) { return base > 0 ? cur / base : 0.0; }
 
+// The perf ctest gate: every metric must hold at least `tolerance` of its
+// recorded baseline. Failures name the metric with current, baseline and the
+// tolerance line it crossed, so a CI log is actionable without rerunning.
+int GateAgainstBaseline(const Results& r, double tolerance) {
+  struct Metric {
+    const char* name;
+    double current;
+    double baseline;
+  };
+  const Metric metrics[] = {
+      {"event_loop events/sec", r.events_per_sec, perf_baseline::kEventLoopEventsPerSec},
+      {"timer_churn ops/sec", r.churn_ops_per_sec, perf_baseline::kTimerChurnOpsPerSec},
+      {"gro_datapath packets/sec", r.packets_per_sec,
+       perf_baseline::kGroDatapathPacketsPerSec},
+  };
+  int failures = 0;
+  for (const Metric& m : metrics) {
+    const double ratio = Ratio(m.current, m.baseline);
+    if (ratio < tolerance) {
+      std::fprintf(stderr,
+                   "PERF GATE FAIL: %s = %.0f is %.1fx of baseline %.0f "
+                   "(tolerance %.1fx of commit %s)\n",
+                   m.name, m.current, ratio, m.baseline, tolerance, perf_baseline::kCommit);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("perf gate: all metrics >= %.1fx of baseline %s\n", tolerance,
+                perf_baseline::kCommit);
+  }
+  return failures;
+}
+
 void WriteJson(const Results& r, const std::string& path) {
   std::ofstream out(path);
   out.precision(1);
@@ -275,6 +308,7 @@ int CheckSchema(const std::string& path) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   bool print_header = false;
+  double gate_tolerance = 0.0;  // 0 = no gate
   std::string out_path = "BENCH_core.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -283,11 +317,17 @@ int Main(int argc, char** argv) {
       print_header = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      gate_tolerance = std::strtod(argv[++i], nullptr);
+      if (gate_tolerance <= 0.0) {
+        std::fprintf(stderr, "--gate needs a tolerance ratio > 0 (e.g. 0.5)\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
       return CheckSchema(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: perf_core [--smoke] [--out PATH] "
+                   "usage: perf_core [--smoke] [--out PATH] [--gate RATIO] "
                    "[--print-baseline-header] [--check PATH]\n");
       return 2;
     }
@@ -321,17 +361,20 @@ int Main(int argc, char** argv) {
   std::printf("\n=== perf_core ===\n%s\n\n",
               smoke ? "(smoke sizes)" : "(full sizes, best of 3)");
   std::printf("%-32s %16s %16s %10s\n", "metric", "baseline", "current", "speedup");
-  std::printf("%-32s %16.0f %16.0f %9.2fx\n", "event_loop events/sec",
+  std::printf("%-32s %16.0f %16.0f %9.1fx\n", "event_loop events/sec",
               perf_baseline::kEventLoopEventsPerSec, r.events_per_sec,
               Ratio(r.events_per_sec, perf_baseline::kEventLoopEventsPerSec));
-  std::printf("%-32s %16.0f %16.0f %9.2fx\n", "timer_churn ops/sec",
+  std::printf("%-32s %16.0f %16.0f %9.1fx\n", "timer_churn ops/sec",
               perf_baseline::kTimerChurnOpsPerSec, r.churn_ops_per_sec,
               Ratio(r.churn_ops_per_sec, perf_baseline::kTimerChurnOpsPerSec));
-  std::printf("%-32s %16.0f %16.0f %9.2fx\n", "gro_datapath packets/sec",
+  std::printf("%-32s %16.0f %16.0f %9.1fx\n", "gro_datapath packets/sec",
               perf_baseline::kGroDatapathPacketsPerSec, r.packets_per_sec,
               Ratio(r.packets_per_sec, perf_baseline::kGroDatapathPacketsPerSec));
   WriteJson(r, out_path);
   std::printf("\nwrote %s\n", out_path.c_str());
+  if (gate_tolerance > 0.0) {
+    return GateAgainstBaseline(r, gate_tolerance) == 0 ? 0 : 1;
+  }
   return 0;
 }
 

@@ -1,0 +1,223 @@
+// perf_fabric: multi-core scaling of ONE large scenario on the sharded
+// conservative-lookahead engine.
+//
+// perf_core tracks the per-event/per-packet hot path and the sweep runner
+// parallelizes *across* independent points; this bench measures the one axis
+// those leave uncovered — how fast a single big scenario runs as workers are
+// added. A 32-host Clos (16 per ToR, 2 spines) runs 16 concurrent bulk
+// transfers (left host i -> right host i); the engine partitions it into one
+// shard domain per host and per switch, and the requested worker count is a
+// pure multiplexing knob. The simulated outcome (packets seen by every NIC,
+// bytes delivered by every receiver, engine windows) must be identical at
+// every worker count — the bench exits 1 if it is not — so the curve is pure
+// engine scaling, not workload drift.
+//
+// Results are appended to BENCH_core.json as a "fabric_scaling" section
+// (after perf_core's sections; re-running replaces the section in place).
+// `hardware_threads` is recorded so a curve measured on a small machine is
+// not mistaken for the engine's ceiling: with fewer cores than workers the
+// extra workers just time-slice one core and the speedup tops out at ~1x.
+//
+// Modes:
+//   perf_fabric [--smoke] [--out PATH]   run 1/2/4/8 workers, update JSON
+//
+// Exit status: 0 on success, 1 when any worker count changes the simulated
+// outcome (a determinism bug, not a perf problem).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/perf_baseline.h"
+#include "src/util/thread_budget.h"
+
+namespace juggler {
+namespace {
+
+struct FabricPoint {
+  size_t requested = 0;  // worker threads asked of the engine
+  size_t workers = 0;    // granted by the thread budget
+  double wall_s = 0;
+  uint64_t packets = 0;          // sum of NicRx packets_in over all 32 hosts
+  uint64_t delivered_bytes = 0;  // sum over the 16 receivers
+  uint64_t windows = 0;          // engine lookahead windows
+  uint64_t events = 0;           // events executed across all domain loops
+  double packets_per_sec = 0;    // simulated packets per wall second
+};
+
+FabricPoint RunFabric(size_t workers, uint64_t bytes_per_pair) {
+  CpuCostModel costs;
+  ShardedEngine engine(workers);
+  ClosOptions opt;
+  opt.hosts_per_tor = 16;
+  opt.host_template = DefaultHost();
+  opt.host_template.rx.int_coalesce = Us(20);
+  opt.host_template.gro_factory =
+      MakeJugglerFactory(TunedJuggler(opt.host_link_rate_bps, Us(100), Us(20)));
+  ShardedClosTestbed t = BuildShardedClos(&engine, &costs, opt);
+
+  std::vector<EndpointPair> pairs;
+  pairs.reserve(t.left_hosts.size());
+  for (size_t i = 0; i < t.left_hosts.size(); ++i) {
+    pairs.push_back(ConnectHosts(t.left_hosts[i], t.right_hosts[i], 1000, 2000));
+    pairs.back().a_to_b->Send(bytes_per_pair);
+  }
+  const uint64_t target = bytes_per_pair * pairs.size();
+
+  FabricPoint p;
+  p.requested = workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  TimeNs now = 0;
+  uint64_t delivered = 0;
+  const TimeNs limit = Ms(800);
+  while (now < limit && delivered < target) {
+    now += Ms(5);
+    engine.Run(now);
+    delivered = 0;
+    for (const EndpointPair& pair : pairs) {
+      delivered += pair.b_to_a->bytes_delivered();
+    }
+  }
+  p.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  p.workers = engine.stats().workers;
+  p.windows = engine.stats().windows;
+  p.delivered_bytes = delivered;
+  for (Host* h : t.left_hosts) {
+    p.packets += h->nic_rx()->stats().packets_in;
+  }
+  for (Host* h : t.right_hosts) {
+    p.packets += h->nic_rx()->stats().packets_in;
+  }
+  for (size_t d = 0; d < engine.domain_count(); ++d) {
+    p.events += engine.domain(d)->loop().executed_events();
+  }
+  p.packets_per_sec = static_cast<double>(p.packets) / p.wall_s;
+  return p;
+}
+
+// Replace (or append) the trailing "fabric_scaling" section of the
+// BENCH_core.json written by perf_core. The section is kept last in the file
+// so replacement is a truncate-and-append; a missing file gets a minimal
+// standalone object.
+void WriteFabricSection(const std::vector<FabricPoint>& points, const std::string& path) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+  }
+  const size_t existing = text.find("\"fabric_scaling\"");
+  if (existing != std::string::npos) {
+    const size_t comma = text.rfind(',', existing);
+    text.erase(comma != std::string::npos ? comma : 0);
+  } else {
+    const size_t close = text.rfind('}');
+    if (close != std::string::npos) {
+      text.erase(close);
+    } else {
+      text = "{";
+    }
+  }
+  while (!text.empty() && (text.back() == '\n' || text.back() == ' ')) {
+    text.pop_back();
+  }
+  const bool first_section = !text.empty() && text.back() == '{';
+
+  std::ostringstream out;
+  out.precision(1);
+  out << std::fixed;
+  out << text << (first_section ? "\n" : ",\n") << "  \"fabric_scaling\": {\n"
+      << "    \"scenario\": \"clos_32_hosts_16_bulk_pairs\",\n"
+      << "    \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+      << "    \"baseline_1worker_packets_per_sec\": "
+      << perf_baseline::kFabricClosPacketsPerSec << ",\n"
+      << "    \"points\": [\n";
+  const double base = points.empty() ? 0.0 : points.front().packets_per_sec;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const FabricPoint& p = points[i];
+    out << "      {\"requested_workers\": " << p.requested << ", \"granted_workers\": "
+        << p.workers << ", \"packets_per_sec\": " << p.packets_per_sec
+        << ", \"speedup_vs_1worker\": " << (base > 0 ? p.packets_per_sec / base : 0.0) << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }\n}\n";
+  std::ofstream(path) << out.str();
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_fabric [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const uint64_t bytes_per_pair = smoke ? 200'000 : 16'000'000;
+  std::printf("\n=== perf_fabric ===\n32-host Clos, 16 bulk pairs of %llu bytes, "
+              "%u hardware thread(s), budget %zu\n\n",
+              static_cast<unsigned long long>(bytes_per_pair),
+              std::thread::hardware_concurrency(), ThreadBudget::Total());
+  std::printf("%8s %8s %12s %14s %10s %10s %8s\n", "workers", "granted", "wall(s)",
+              "pkts/sec", "packets", "events", "speedup");
+
+  std::vector<FabricPoint> points;
+  int failures = 0;
+  const int reps = smoke ? 1 : 3;
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    FabricPoint p = RunFabric(workers, bytes_per_pair);
+    for (int rep = 1; rep < reps; ++rep) {
+      const FabricPoint again = RunFabric(workers, bytes_per_pair);
+      if (again.packets_per_sec > p.packets_per_sec) {
+        p = again;
+      }
+    }
+    if (!points.empty()) {
+      const FabricPoint& base = points.front();
+      if (p.packets != base.packets || p.delivered_bytes != base.delivered_bytes ||
+          p.windows != base.windows || p.events != base.events) {
+        std::fprintf(stderr,
+                     "DETERMINISM FAIL at %zu workers: packets %llu vs %llu, bytes %llu "
+                     "vs %llu, windows %llu vs %llu, events %llu vs %llu\n",
+                     workers, static_cast<unsigned long long>(p.packets),
+                     static_cast<unsigned long long>(base.packets),
+                     static_cast<unsigned long long>(p.delivered_bytes),
+                     static_cast<unsigned long long>(base.delivered_bytes),
+                     static_cast<unsigned long long>(p.windows),
+                     static_cast<unsigned long long>(base.windows),
+                     static_cast<unsigned long long>(p.events),
+                     static_cast<unsigned long long>(base.events));
+        ++failures;
+      }
+    }
+    std::printf("%8zu %8zu %12.3f %14.0f %10llu %10llu %7.1fx\n", p.requested, p.workers,
+                p.wall_s, p.packets_per_sec, static_cast<unsigned long long>(p.packets),
+                static_cast<unsigned long long>(p.events),
+                points.empty() ? 1.0 : p.packets_per_sec / points.front().packets_per_sec);
+    points.push_back(p);
+  }
+
+  WriteFabricSection(points, out_path);
+  std::printf("\nupdated %s (fabric_scaling)\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace juggler
+
+int main(int argc, char** argv) { return juggler::Main(argc, argv); }

@@ -12,9 +12,13 @@
 //   ./build/examples/chaos_runner --seeds 20         # 5 families x 20 seeds
 //   ./build/examples/chaos_runner --family corrupt --seeds 8
 //   ./build/examples/chaos_runner --base-seed 42 --bytes 3000000
+//   ./build/examples/chaos_runner --shards 4       # sharded parallel engine
 //
 // Exit status: 0 when every run is clean, 1 on any violation or mismatch —
 // the failing (family, seed) pair printed is a complete repro recipe.
+// With --shards N the scenario runs on the sharded conservative-lookahead
+// engine; the digest is identical for every N >= 1, so a repro found at
+// --shards 8 replays at --shards 1.
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   int seeds = 4;
   uint64_t base_seed = 1;
   uint64_t bytes = 1'500'000;
+  size_t shards = 0;
   std::vector<FaultFamily> families(std::begin(kAllFamilies), std::end(kAllFamilies));
 
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--bytes must be > 0\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<size_t>(std::strtoull(next("--shards"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--family") == 0) {
       FaultFamily f;
       if (!ParseFamily(next("--family"), &f)) {
@@ -83,7 +90,7 @@ int main(int argc, char** argv) {
       families.assign(1, f);
     } else {
       std::fprintf(stderr, "usage: %s [--seeds N] [--base-seed S] [--bytes B] "
-                           "[--family NAME]\n", argv[0]);
+                           "[--family NAME] [--shards N]\n", argv[0]);
       return 2;
     }
   }
@@ -100,6 +107,7 @@ int main(int argc, char** argv) {
       opt.seed = base_seed + static_cast<uint64_t>(s);
       opt.family = family;
       opt.transfer_bytes = bytes;
+      opt.shards = shards;
       const ChaosResult r = RunChaos(opt);
       const uint64_t fault_events = r.juggler.faults.drops + r.juggler.faults.duplicates +
                                     r.juggler.faults.corruptions +
@@ -112,6 +120,21 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(fault_events),
                   static_cast<unsigned long long>(r.juggler.flaps),
                   static_cast<unsigned long long>(r.juggler.digest));
+      if (shards >= 1) {
+        std::printf("    shards: %zu workers, %llu windows, %llu crossings;",
+                    r.juggler.shard_workers,
+                    static_cast<unsigned long long>(r.juggler.shard_windows),
+                    static_cast<unsigned long long>(r.juggler.shard_crossings));
+        for (size_t d = 0; d < r.juggler.shard_names.size(); ++d) {
+          std::printf(" %s=%llu", r.juggler.shard_names[d].c_str(),
+                      static_cast<unsigned long long>(r.juggler.shard_events[d]));
+        }
+        std::printf(" events; barrier-wait");
+        for (uint64_t ns : r.juggler.shard_barrier_wait_ns) {
+          std::printf(" %.2fms", static_cast<double>(ns) / 1e6);
+        }
+        std::printf("\n");
+      }
       if (!r.ok) {
         ++failures;
         for (const auto& res : {r.juggler, r.baseline}) {

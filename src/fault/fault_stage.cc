@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/sim/shard_mailbox.h"
 #include "src/util/logging.h"
 
 namespace juggler {
@@ -37,7 +38,7 @@ void FaultStage::Accept(PacketPtr packet) {
   const FaultProfile* p = timeline_.ActiveAt(now);
   if (p == nullptr || !p->any()) {
     ++stats_.passed;
-    sink_->Accept(std::move(packet));
+    Forward(std::move(packet));
     return;
   }
 
@@ -76,20 +77,33 @@ void FaultStage::Accept(PacketPtr packet) {
     // frame would be. Delivered after the original.
     PacketPtr dup = ClonePacket(*packet);
     ++stats_.duplicates;
-    sink_->Accept(std::move(packet));
-    sink_->Accept(std::move(dup));
+    Forward(std::move(packet));
+    Forward(std::move(dup));
     return;
   }
   if (p->delay_prob > 0 && rng_.NextBool(p->delay_prob)) {
     const TimeNs spike = rng_.NextInRange(p->delay_min, p->delay_max);
     ++stats_.delayed;
+    if (remote_ != nullptr) {
+      // The destination domain replays the spike as envelope extra.
+      remote_->Deliver(std::move(packet), spike);
+      return;
+    }
     PacketSink* sink = sink_;
     loop_->Schedule(spike,
                     [sink, p = std::move(packet)]() mutable { sink->Accept(std::move(p)); });
     return;
   }
   ++stats_.passed;
-  sink_->Accept(std::move(packet));
+  Forward(std::move(packet));
+}
+
+void FaultStage::Forward(PacketPtr packet) {
+  if (remote_ != nullptr) {
+    remote_->Deliver(std::move(packet), 0);
+  } else {
+    sink_->Accept(std::move(packet));
+  }
 }
 
 }  // namespace juggler

@@ -33,6 +33,8 @@
 
 namespace juggler {
 
+class RemoteEndpoint;
+
 // Fault intensities active within one timeline window. All probabilities are
 // per-packet Bernoulli trials; zero disables that fault class.
 struct FaultProfile {
@@ -136,6 +138,12 @@ class FaultStage : public PacketSink {
 
   void Accept(PacketPtr packet) override;
 
+  // Sharded operation: surviving packets (and duplicates) cross into another
+  // shard domain's mailbox; a delay spike rides as envelope extra instead of
+  // a local timer. Fault decisions and their RNG draw order are unchanged,
+  // so the same seed produces the same fault pattern either way.
+  void set_remote(RemoteEndpoint* remote) { remote_ = remote; }
+
   const FaultStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
@@ -143,11 +151,15 @@ class FaultStage : public PacketSink {
   uint64_t drops() const { return stats_.drops; }
 
  private:
+  // Immediate delivery to the local sink or the remote endpoint.
+  void Forward(PacketPtr packet);
+
   EventLoop* loop_;
   std::string name_;
   FaultTimeline timeline_;
   Rng rng_;
   PacketSink* sink_;
+  RemoteEndpoint* remote_ = nullptr;
   int burst_remaining_ = 0;
   FaultStats stats_;
 };

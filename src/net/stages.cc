@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/sim/shard_mailbox.h"
 #include "src/util/logging.h"
 
 namespace juggler {
@@ -23,6 +24,12 @@ void ReorderStage::Accept(PacketPtr packet) {
     out = lane_last_out_[lane];  // lanes are FIFOs
   }
   lane_last_out_[lane] = out;
+  if (remote_ != nullptr) {
+    // The destination domain replays the lane delay as envelope extra; no
+    // local timer needed.
+    remote_->Deliver(std::move(packet), out - now);
+    return;
+  }
   PacketSink* sink = sink_;
   loop_->ScheduleAt(out,
                     [sink, p = std::move(packet)]() mutable { sink->Accept(std::move(p)); });

@@ -14,6 +14,8 @@
 
 namespace juggler {
 
+class RemoteEndpoint;
+
 // Models the paper's NetFPGA-10G testbed switch (Figure 11): each inbound
 // packet is hashed uniformly at random to one of N internal lanes; lane i
 // adds a fixed delay. Order is preserved *within* a lane (each lane is a
@@ -25,6 +27,11 @@ class ReorderStage : public PacketSink {
 
   void Accept(PacketPtr packet) override;
 
+  // Sharded operation: emit into another shard domain's mailbox instead of
+  // scheduling a local timer. The lane delay rides as the envelope's extra
+  // on top of the endpoint's wire latency.
+  void set_remote(RemoteEndpoint* remote) { remote_ = remote; }
+
   uint64_t packets_through() const { return packets_; }
 
  private:
@@ -33,6 +40,7 @@ class ReorderStage : public PacketSink {
   std::vector<TimeNs> lane_last_out_;  // FIFO guarantee per lane
   Rng rng_;
   PacketSink* sink_;
+  RemoteEndpoint* remote_ = nullptr;
   uint64_t packets_ = 0;
 };
 

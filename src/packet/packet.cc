@@ -6,6 +6,8 @@ static_assert(kMss + kPerPacketWireOverhead > kMtuBytes,
               "wire frame must cover the MTU plus framing overhead");
 static_assert(std::is_trivially_copyable_v<Packet>,
               "Packet reset in PacketPool::Acquire relies on trivial copyability");
+static_assert(sizeof(Packet) == 128,
+              "simulation state plus pool bookkeeping must fill exactly two cache lines");
 
 constinit thread_local PacketPool* PacketPool::tls_pool_ = nullptr;
 
@@ -19,6 +21,7 @@ PacketPool& PacketPool::CreateForThread() {
 }
 
 PacketPool::~PacketPool() {
+  DrainRemote();  // storage parked on the return stack is ours to free
   for (Packet* p : free_) {
     delete p;
   }
@@ -28,6 +31,7 @@ PacketPool::~PacketPool() {
 }
 
 void PacketPool::Trim() {
+  DrainRemote();
   for (Packet* p : free_) {
     delete p;
   }

@@ -18,6 +18,7 @@
 #ifndef JUGGLER_SRC_PACKET_PACKET_H_
 #define JUGGLER_SRC_PACKET_PACKET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -100,8 +101,11 @@ struct SackBlocks {
   }
 };
 
-// Cache-line aligned: at 112 bytes a Packet rounds to exactly two lines, so
-// the recycle-reset and per-field writes never straddle a third line.
+class PacketPool;
+
+// Cache-line aligned: at 112 bytes of simulation state plus two pool-
+// management pointers a Packet fills exactly two lines, so the recycle-reset
+// and per-field writes never straddle a third line.
 struct alignas(64) Packet {
   uint64_t id = 0;  // globally unique, for tracing
   FiveTuple flow;
@@ -134,6 +138,14 @@ struct alignas(64) Packet {
   TimeNs sent_time = 0;    // left the sender's TCP
   TimeNs nic_rx_time = 0;  // arrived at the receiving NIC ring
 
+  // Pool management, not simulation state: the pool whose storage this is
+  // (releases route back to it from any thread), and the intrusive link used
+  // while the storage sits on that pool's cross-thread return stack. Both
+  // are maintained by PacketPool/ClonePacket; simulation code must treat
+  // them as opaque.
+  PacketPool* pool_origin = nullptr;
+  Packet* pool_next = nullptr;
+
   bool is_pure_ack() const { return payload_len == 0 && (flags & kFlagAck) != 0; }
   Seq end_seq() const { return seq + payload_len; }
   uint32_t wire_bytes() const { return payload_len + kPerPacketWireOverhead; }
@@ -147,13 +159,34 @@ struct PacketDeleter {
 
 using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
-// Per-thread freelist of Packet storage. All packets on a thread — from any
-// PacketFactory, test helper or clone — recycle through the same pool, so
-// steady-state traffic performs zero allocations. Storage is plain `new
+// Freelist of Packet storage. All packets allocated through a pool — from
+// any PacketFactory, test helper or clone — recycle through that same pool,
+// so steady-state traffic performs zero allocations. Storage is plain `new
 // Packet`, individually owned, so the freelist may also absorb packets that
 // were constructed outside the pool.
+//
+// Threading: by default every thread has its own pool (ThreadLocal) and
+// packets recycle through whichever pool is ambient on the releasing thread
+// — the pre-sharding behavior, safe across thread teardown because such
+// packets carry no origin pointer. A pool constructed with
+// CrossThreadReturnTag (the sharded engine owns one per shard domain)
+// additionally stamps every packet it hands out with its own address:
+// releases on the owning worker take the same lock-free fast path, while a
+// release on any *other* thread — sharded scenarios hand packets between
+// workers through mailboxes — pushes onto the origin's MPSC return stack (a
+// Treiber stack threaded through Packet::pool_next), which the origin drains
+// wholesale when its local freelist runs dry. So cross-shard traffic still
+// recycles instead of leaking allocations out of one pool and piling them up
+// in another. Lifetime contract for stamped pools only: the pool must
+// outlive every packet it allocated; the engine guarantees this by shutting
+// down all event loops (freeing in-flight packets) before any pool dies.
 class PacketPool {
  public:
+  // Tag selecting cross-thread-return stamping (see class comment).
+  struct CrossThreadReturnTag {};
+
+  PacketPool() = default;
+  explicit PacketPool(CrossThreadReturnTag) : origin_stamp_(this) {}
   // The thread's pool. The cached pointer is trivially-initialized TLS, so
   // the hot path is one thread-relative load — no init-guard check, no call
   // into the TU that owns the pool (this accessor runs twice per simulated
@@ -166,15 +199,36 @@ class PacketPool {
     return *pool;
   }
 
-  // Deleter entry point: pools the storage, or frees it outright when the
-  // thread's pool is already gone (releases during thread teardown).
+  // Deleter entry point. Unstamped packets (the common, non-sharded case)
+  // recycle through whichever pool is ambient on the releasing thread, or
+  // are freed outright when that pool is already gone (releases during
+  // thread teardown). Stamped packets go back to their origin: the lock-free
+  // local path when the origin is ambient here, the cross-thread return
+  // stack otherwise.
   static void ReleaseToThreadPool(Packet* p) noexcept {
-    PacketPool* pool = tls_pool_;
-    if (pool != nullptr) [[likely]] {
-      pool->Release(p);
+    PacketPool* origin = p->pool_origin;
+    if (origin == nullptr) [[likely]] {
+      PacketPool* pool = tls_pool_;
+      if (pool != nullptr) [[likely]] {
+        pool->Release(p);
+      } else {
+        delete p;
+      }
+    } else if (origin == tls_pool_) {
+      origin->Release(p);
     } else {
-      delete p;
+      origin->ReleaseRemote(p);
     }
+  }
+
+  // Repoints the calling thread's pool (returning the previous one, possibly
+  // null). Shard workers run each domain against that domain's own pool, so
+  // allocations made while a domain executes are stamped with — and recycle
+  // through — the domain pool regardless of which worker thread ran it.
+  static PacketPool* SwapThreadPool(PacketPool* pool) noexcept {
+    PacketPool* prev = tls_pool_;
+    tls_pool_ = pool;
+    return prev;
   }
 
   ~PacketPool();
@@ -185,21 +239,38 @@ class PacketPool {
   Packet* Acquire() {
     ++acquired_;
     if (free_.empty()) {
-      ++fresh_;
-      return new Packet;
+      DrainRemote();
+      if (free_.empty()) {
+        ++fresh_;
+        Packet* p = new Packet;
+        p->pool_origin = origin_stamp_;
+        return p;
+      }
     }
     Packet* p = free_.back();
     free_.pop_back();
-    // Recycled storage must look freshly constructed. memset + two fixups
+    // Recycled storage must look freshly constructed. memset + three fixups
     // vectorizes where the member-wise `*p = Packet{}` emits scalar stores;
     // packet_test pins the equivalence against a default-constructed Packet.
     std::memset(static_cast<void*>(p), 0, sizeof(Packet));
     p->flow.protocol = 6;
     p->priority = Priority::kLow;
+    p->pool_origin = origin_stamp_;
     return p;
   }
 
   void Release(Packet* p) noexcept { free_.push_back(p); }
+
+  // Cross-thread release: push onto the origin pool's lock-free return stack
+  // (Treiber MPSC — many releasing threads, one draining owner). The CAS
+  // releases the packet's contents to the owner's acquire in DrainRemote.
+  void ReleaseRemote(Packet* p) noexcept {
+    Packet* head = remote_free_.load(std::memory_order_relaxed);
+    do {
+      p->pool_next = head;
+    } while (!remote_free_.compare_exchange_weak(head, p, std::memory_order_release,
+                                                 std::memory_order_relaxed));
+  }
 
   // Frees the freelist's storage (keeps stats). Outstanding packets are
   // unaffected; they re-enter the (now empty) freelist when released.
@@ -214,11 +285,27 @@ class PacketPool {
   // Cold path: constructs the calling thread's pool and caches its address.
   static PacketPool& CreateForThread();
 
+  // Claims the whole cross-thread return stack in one exchange and moves it
+  // onto the local freelist. Cold: runs only when the freelist is empty.
+  void DrainRemote() {
+    Packet* p = remote_free_.exchange(nullptr, std::memory_order_acquire);
+    while (p != nullptr) {
+      Packet* next = p->pool_next;
+      p->pool_next = nullptr;
+      free_.push_back(p);
+      p = next;
+    }
+  }
+
   // constinit: provably no dynamic initialization, so access compiles to a
   // bare thread-relative load instead of a call to the TLS init wrapper.
   static constinit thread_local PacketPool* tls_pool_;
 
   std::vector<Packet*> free_;
+  std::atomic<Packet*> remote_free_{nullptr};  // cross-thread return stack
+  // What Acquire writes into Packet::pool_origin: `this` for engine-owned
+  // (CrossThreadReturnTag) pools, null for thread-ambient ones.
+  PacketPool* const origin_stamp_ = nullptr;
   uint64_t acquired_ = 0;
   uint64_t fresh_ = 0;  // acquisitions that had to hit the allocator
 };
@@ -231,9 +318,14 @@ inline void PacketDeleter::operator()(Packet* p) const noexcept {
 inline PacketPtr AllocPacket() { return PacketPtr(PacketPool::ThreadLocal().Acquire()); }
 
 // A pooled copy of `src` (used for duplication faults and test fixtures).
+// Only simulation state is copied: the clone keeps its own storage's pool
+// bookkeeping, not the source's.
 inline PacketPtr ClonePacket(const Packet& src) {
   PacketPtr p = AllocPacket();
+  PacketPool* origin = p->pool_origin;
   *p = src;
+  p->pool_origin = origin;
+  p->pool_next = nullptr;
   return p;
 }
 

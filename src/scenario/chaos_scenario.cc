@@ -55,13 +55,13 @@ FaultProfile DelaySpikeProfile(Rng* rng) {
   return p;
 }
 
-ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
-  ChaosEngineResult r;
-  r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
-
-  SimWorld world;
-  AuditLog log;
-
+// The NetFPGA options a chaos run uses, shared by the legacy and sharded
+// execution paths so both subject packets to the same fault schedule.
+// `nominal` returns the transfer's line-rate duration, the anchor for fault
+// and flap windows — anchoring to the (generous) time budget would schedule
+// every fault after the last byte already landed.
+NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, AuditLog* log,
+                                   TimeNs* nominal) {
   NetFpgaOptions nopt;
   nopt.reorder_delay = opt.reorder_delay;
   nopt.seed = opt.seed * 2654435761ULL + static_cast<uint64_t>(opt.family);
@@ -74,39 +74,162 @@ ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
   jcfg.ofo_timeout = Us(300);
   if (use_juggler) {
     nopt.receiver.gro_factory =
-        opt.audit ? MakeAuditedJugglerFactory(jcfg, &log) : MakeJugglerFactory(jcfg);
+        opt.audit ? MakeAuditedJugglerFactory(jcfg, log) : MakeJugglerFactory(jcfg);
   } else {
     nopt.receiver.gro_factory = MakeStandardGroFactory();
   }
 
-  // Anchor fault windows to the transfer's nominal duration at line rate —
-  // anchoring to the (generous) time budget would schedule every fault after
-  // the last byte already landed.
-  const TimeNs nominal = static_cast<TimeNs>(
+  *nominal = static_cast<TimeNs>(
       static_cast<int64_t>(opt.transfer_bytes) * 8 * 1'000'000'000LL / nopt.link_rate_bps);
   if (opt.family != FaultFamily::kLinkFlap) {
     // 12x the line-rate duration: the transfer is congestion-limited (more
     // so for the baseline engine under reordering), so faults must stay
     // active across the real, much longer, delivery timeline.
-    nopt.faults = MakeChaosTimeline(opt.family, opt.seed, /*horizon=*/nominal * 12,
+    nopt.faults = MakeChaosTimeline(opt.family, opt.seed, /*horizon=*/*nominal * 12,
                                     opt.num_windows);
   }
+  return nopt;
+}
+
+// Link flaps: blackhole windows on the forward path, short relative to
+// TCP's max RTO (200ms) so the sender always recovers. `loop` must be the
+// loop `fwd_link` runs on.
+std::unique_ptr<LinkFlapper> MaybeStartFlapper(const ChaosOptions& opt, EventLoop* loop,
+                                               Link* fwd_link, TimeNs nominal) {
+  if (opt.family != FaultFamily::kLinkFlap && opt.family != FaultFamily::kMixed) {
+    return nullptr;
+  }
+  Rng flap_rng(opt.seed * 40503 + 271);
+  const bool blackhole = opt.family == FaultFamily::kLinkFlap || flap_rng.NextBool(0.5);
+  auto windows = LinkFlapper::MakeRandomWindows(
+      &flap_rng, /*horizon=*/nominal,
+      /*count=*/opt.family == FaultFamily::kLinkFlap ? 3 : 1,
+      /*min_down=*/Ms(2), /*max_down=*/Ms(12), blackhole, fwd_link->rate_bps());
+  auto flapper = std::make_unique<LinkFlapper>(loop, fwd_link, std::move(windows));
+  flapper->Start();
+  return flapper;
+}
+
+// Result assembly + digest, identical for both execution paths (the testbed
+// types expose the same member names).
+template <typename Testbed>
+void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlapper* flapper,
+               StreamIntegrityChecker* integrity, AuditLog* log, bool use_juggler,
+               TimeNs finish_time, ChaosEngineResult* r) {
+  r->bytes_delivered = pair->b_to_a->bytes_delivered();
+  r->completed = r->bytes_delivered == opt.transfer_bytes;
+  r->finish_time = finish_time;
+  integrity->FinalCheck();
+  if (!r->completed) {
+    log->Violation(r->engine, "transfer incomplete: " + std::to_string(r->bytes_delivered) +
+                                  " of " + std::to_string(opt.transfer_bytes) + " bytes");
+  }
+  r->violations = log->violations();
+  r->violation_messages = log->messages();
+  if (t->fault != nullptr) {
+    r->faults = t->fault->stats();
+  }
+  if (flapper != nullptr) {
+    r->flaps = flapper->flaps_started();
+  }
+  r->checksum_drops = t->receiver->nic_rx()->stats().checksum_drops;
+  if (use_juggler && opt.audit) {
+    for (size_t q = 0; q < t->receiver->nic_rx()->num_queues(); ++q) {
+      if (auto* auditor = dynamic_cast<JugglerAuditor*>(t->receiver->nic_rx()->gro(q))) {
+        r->audits += auditor->audits();
+      }
+    }
+  }
+
+  Digest d;
+  d.Mix(r->bytes_delivered);
+  d.Mix(static_cast<uint64_t>(r->finish_time));
+  d.Mix(r->violations);
+  d.Mix(r->checksum_drops);
+  d.Mix(r->faults.packets_in);
+  d.Mix(r->faults.drops);
+  d.Mix(r->faults.duplicates);
+  d.Mix(r->faults.corruptions);
+  d.Mix(r->faults.truncations);
+  d.Mix(r->faults.delayed);
+  d.Mix(r->flaps);
+  const GroStats gro = t->receiver->nic_rx()->TotalGroStats();
+  d.Mix(gro.packets_in);
+  d.Mix(gro.segments_out);
+  d.Mix(gro.ooo_packets);
+  const TcpSenderStats& snd = pair->a_to_b->sender_stats();
+  d.Mix(snd.fast_retransmits);
+  d.Mix(snd.rtos);
+  d.Mix(snd.retransmitted_bytes);
+  r->digest = d.h;
+}
+
+// Sharded execution: same scenario, same fault schedule, run on the
+// conservative-lookahead engine with up to opt.shards workers.
+ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler) {
+  ChaosEngineResult r;
+  r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
+
+  AuditLog log;
+  TimeNs nominal = 0;
+  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log, &nominal);
+
+  // Declared before the testbed: the fabric's teardown releases packets
+  // back into the engine's domain pools.
+  ShardedEngine engine(opt.shards);
+  CpuCostModel costs;
+  ShardedNetFpgaTestbed t = BuildShardedNetFpga(&engine, &costs, nopt);
+
+  std::unique_ptr<LinkFlapper> flapper =
+      MaybeStartFlapper(opt, &t.sender_domain->loop(), t.fwd_link, nominal);
+
+  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+
+  StreamIntegrityChecker integrity(r.engine + "/stream", &log);
+  integrity.Attach(pair.b_to_a);
+  integrity.set_expected_bytes(opt.transfer_bytes);
+
+  pair.a_to_b->Send(opt.transfer_bytes);
+
+  TimeNs now = 0;
+  while (now < opt.time_limit && pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
+    now += Ms(10);
+    engine.Run(now);
+  }
+  // Let the tail drain (final ACKs, pending GRO flushes, late duplicates).
+  now += Ms(5);
+  engine.Run(now);
+
+  FinishRun(opt, &t, &pair, flapper.get(), &integrity, &log, use_juggler, now, &r);
+
+  const ShardedEngineStats& es = engine.stats();
+  r.shard_workers = es.workers;
+  r.shard_windows = es.windows;
+  r.shard_crossings = es.crossings;
+  r.shard_barrier_wait_ns = es.barrier_wait_ns;
+  for (size_t i = 0; i < engine.domain_count(); ++i) {
+    r.shard_names.push_back(engine.domain(i)->name());
+    r.shard_events.push_back(engine.domain(i)->executed_events());
+  }
+  return r;
+}
+
+ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
+  if (opt.shards >= 1) {
+    return RunOneEngineSharded(opt, use_juggler);
+  }
+  ChaosEngineResult r;
+  r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
+
+  SimWorld world;
+  AuditLog log;
+  TimeNs nominal = 0;
+  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log, &nominal);
 
   NetFpgaTestbed t = BuildNetFpga(&world, nopt);
 
-  // Link flaps: blackhole windows on the forward path, short relative to
-  // TCP's max RTO (200ms) so the sender always recovers.
-  std::unique_ptr<LinkFlapper> flapper;
-  if (opt.family == FaultFamily::kLinkFlap || opt.family == FaultFamily::kMixed) {
-    Rng flap_rng(opt.seed * 40503 + 271);
-    const bool blackhole = opt.family == FaultFamily::kLinkFlap || flap_rng.NextBool(0.5);
-    auto windows = LinkFlapper::MakeRandomWindows(
-        &flap_rng, /*horizon=*/nominal,
-        /*count=*/opt.family == FaultFamily::kLinkFlap ? 3 : 1,
-        /*min_down=*/Ms(2), /*max_down=*/Ms(12), blackhole, t.fwd_link->rate_bps());
-    flapper = std::make_unique<LinkFlapper>(&world.loop, t.fwd_link, std::move(windows));
-    flapper->Start();
-  }
+  std::unique_ptr<LinkFlapper> flapper =
+      MaybeStartFlapper(opt, &world.loop, t.fwd_link, nominal);
 
   EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
 
@@ -123,52 +246,7 @@ ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
   // Let the tail drain (final ACKs, pending GRO flushes, late duplicates).
   world.loop.RunUntil(world.loop.now() + Ms(5));
 
-  r.bytes_delivered = pair.b_to_a->bytes_delivered();
-  r.completed = r.bytes_delivered == opt.transfer_bytes;
-  r.finish_time = world.loop.now();
-  integrity.FinalCheck();
-  if (!r.completed) {
-    log.Violation(r.engine, "transfer incomplete: " + std::to_string(r.bytes_delivered) +
-                                " of " + std::to_string(opt.transfer_bytes) + " bytes");
-  }
-  r.violations = log.violations();
-  r.violation_messages = log.messages();
-  if (t.fault != nullptr) {
-    r.faults = t.fault->stats();
-  }
-  if (flapper != nullptr) {
-    r.flaps = flapper->flaps_started();
-  }
-  r.checksum_drops = t.receiver->nic_rx()->stats().checksum_drops;
-  if (use_juggler && opt.audit) {
-    for (size_t q = 0; q < t.receiver->nic_rx()->num_queues(); ++q) {
-      if (auto* auditor = dynamic_cast<JugglerAuditor*>(t.receiver->nic_rx()->gro(q))) {
-        r.audits += auditor->audits();
-      }
-    }
-  }
-
-  Digest d;
-  d.Mix(r.bytes_delivered);
-  d.Mix(static_cast<uint64_t>(r.finish_time));
-  d.Mix(r.violations);
-  d.Mix(r.checksum_drops);
-  d.Mix(r.faults.packets_in);
-  d.Mix(r.faults.drops);
-  d.Mix(r.faults.duplicates);
-  d.Mix(r.faults.corruptions);
-  d.Mix(r.faults.truncations);
-  d.Mix(r.faults.delayed);
-  d.Mix(r.flaps);
-  const GroStats gro = t.receiver->nic_rx()->TotalGroStats();
-  d.Mix(gro.packets_in);
-  d.Mix(gro.segments_out);
-  d.Mix(gro.ooo_packets);
-  const TcpSenderStats& snd = pair.a_to_b->sender_stats();
-  d.Mix(snd.fast_retransmits);
-  d.Mix(snd.rtos);
-  d.Mix(snd.retransmitted_bytes);
-  r.digest = d.h;
+  FinishRun(opt, &t, &pair, flapper.get(), &integrity, &log, use_juggler, world.loop.now(), &r);
   return r;
 }
 

@@ -51,6 +51,13 @@ struct ChaosOptions {
   int num_windows = 3;
   // Wrap Juggler in the structural invariant auditor.
   bool audit = true;
+  // Shard-parallel execution. 0 = the legacy single event loop (bit-for-bit
+  // the historical behavior). N >= 1 runs the scenario on the ShardedEngine
+  // with up to N worker threads; every N >= 1 produces byte-identical
+  // digests (the worker count only changes which thread runs which domain),
+  // but sharded digests may differ from shards=0 because mid-pipeline
+  // stages observe clocks shifted by the wire's propagation delay.
+  size_t shards = 0;
 };
 
 struct ChaosEngineResult {
@@ -67,6 +74,15 @@ struct ChaosEngineResult {
   // FNV-1a over the run's observable counters: same seed + options must
   // reproduce this bit-identically.
   uint64_t digest = 0;
+  // Sharded-engine execution detail (all zero/empty when shards == 0).
+  // Deliberately outside the digest: windows and crossings are shard-count
+  // invariant anyway, workers and barrier waits are not meant to be.
+  size_t shard_workers = 0;
+  uint64_t shard_windows = 0;
+  uint64_t shard_crossings = 0;
+  std::vector<std::string> shard_names;           // one per domain
+  std::vector<uint64_t> shard_events;             // executed events per domain
+  std::vector<uint64_t> shard_barrier_wait_ns;    // per worker
 };
 
 struct ChaosResult {

@@ -54,6 +54,32 @@ void EventLoop::MaybeCompact() {
   dead_in_heap_ = 0;
 }
 
+TimeNs EventLoop::next_event_time() {
+  while (!heap_.empty() && !IsLive(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    heap_.pop_back();
+    JUG_CHECK(dead_in_heap_ > 0);
+    --dead_in_heap_;
+  }
+  return heap_.empty() ? kNoEvent : heap_.front().when;
+}
+
+void EventLoop::Shutdown() {
+  heap_.clear();
+  free_slots_.clear();
+  for (uint32_t index = 0; index < slots_.size(); ++index) {
+    TimerSlot& slot = slots_[index];
+    if (slot.armed) {
+      slot.cb.Reset();
+      slot.armed = false;
+      ++slot.generation;
+    }
+    free_slots_.push_back(index);
+  }
+  live_timers_ = 0;
+  dead_in_heap_ = 0;
+}
+
 bool EventLoop::RunOne(TimeNs deadline) {
   while (!heap_.empty()) {
     if (heap_.front().when > deadline) {

@@ -73,6 +73,20 @@ class EventLoop {
            slots_[index].armed;
   }
 
+  // Timestamp of the earliest live (not cancelled) pending event, or
+  // kNoEvent when the queue is empty. Prunes dead heap-front entries as a
+  // side effect, so repeated calls stay O(1) amortised. The sharded engine
+  // polls this between lookahead windows to size the next window.
+  static constexpr TimeNs kNoEvent = INT64_MAX;
+  TimeNs next_event_time();
+
+  // Drops every pending event and live timer, freeing captured resources
+  // (packets riding timers) immediately. now() is unchanged. Used by owners
+  // that must tear down multiple interlinked loops in a controlled order —
+  // the sharded engine releases all in-flight packets back to their origin
+  // pools before any pool is destroyed.
+  void Shutdown();
+
   // Run until the event queue drains.
   void Run();
 

@@ -1,0 +1,111 @@
+// Cross-shard packet handoff for the sharded engine.
+//
+// A ShardMailbox is the single-producer/single-consumer channel between one
+// ordered (source domain, destination domain) pair. During a lookahead
+// window's run phase the source domain's worker appends envelopes; after the
+// barrier, the destination domain's worker drains them and schedules the
+// arrivals into its own EventLoop. Exactly one thread touches the mailbox in
+// each phase and the engine's barrier orders the phases, so the buffer needs
+// no atomics — the synchronization lives in the barrier, which is what makes
+// the whole handoff TSan-clean and cheap (a plain vector push per crossing).
+//
+// A RemoteEndpoint is the producer-side façade a pipeline stage (Link,
+// ReorderStage, FaultStage) writes to instead of calling a local PacketSink:
+// it stamps each packet with its absolute arrival time — source-domain now,
+// plus the remainder of the wire's propagation delay that the crossing
+// stands in for, plus any stage-specific extra (reorder lane offset, fault
+// delay spike). The endpoint's `latency` must be > 0: it is the lower bound
+// the engine's conservative lookahead is derived from, so a packet emitted
+// at local time t can only ever arrive at t + latency, strictly inside the
+// *next* window — the no-causality-violation invariant of a conservative
+// parallel DES.
+
+#ifndef JUGGLER_SRC_SIM_SHARD_MAILBOX_H_
+#define JUGGLER_SRC_SIM_SHARD_MAILBOX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/net/packet_sink.h"
+#include "src/packet/packet.h"
+#include "src/util/logging.h"
+#include "src/util/time.h"
+
+namespace juggler {
+
+// One packet crossing shard domains: the packet, when it arrives in the
+// destination domain's clock, and which sink there receives it.
+struct ShardEnvelope {
+  PacketPtr packet;
+  TimeNs arrival = 0;
+  PacketSink* sink = nullptr;
+};
+
+// SPSC buffer for one (source domain, destination domain) pair. The engine's
+// window barrier separates the producer's Push calls from the consumer's
+// Drain, so no internal locking is needed (see file comment).
+class ShardMailbox {
+ public:
+  void Push(PacketPtr packet, TimeNs arrival, PacketSink* sink) {
+    buffer_.push_back(ShardEnvelope{std::move(packet), arrival, sink});
+  }
+
+  bool empty() const { return buffer_.empty(); }
+
+  // The consumer takes the whole batch; capacity is kept so steady-state
+  // windows re-use the same storage.
+  std::vector<ShardEnvelope>& buffer() { return buffer_; }
+
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<ShardEnvelope> buffer_;
+};
+
+// Producer-side delivery target for a stage whose next element lives in
+// another shard domain. Holds the mailbox toward that domain, the arrival
+// sink within it, the source domain's clock, and the wire latency this
+// crossing stands in for.
+//
+// Doubles as a PacketSink so stages that only know how to Accept() (the tail
+// of a chain) can point straight at it; stages that add their own offset
+// (reorder lane delay, fault delay spike) call Deliver(packet, extra)
+// directly.
+class RemoteEndpoint : public PacketSink {
+ public:
+  // `latency` is the share of the wire's propagation delay carried by the
+  // crossing itself; must be > 0 (it lower-bounds the engine's lookahead).
+  RemoteEndpoint(ShardMailbox* mailbox, const TimeNs* src_now, TimeNs latency)
+      : mailbox_(mailbox), src_now_(src_now), latency_(latency) {
+    JUG_CHECK(mailbox_ != nullptr);
+    JUG_CHECK(src_now_ != nullptr);
+    JUG_CHECK(latency_ > 0);
+  }
+
+  // Where the packet lands in the destination domain. Settable after
+  // construction because topology builders wire cycles (LatchSink-style).
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+
+  TimeNs latency() const { return latency_; }
+
+  // Enqueue `packet` to arrive at src-now + latency + extra. `extra` >= 0 is
+  // the stage's own contribution on top of the wire crossing.
+  void Deliver(PacketPtr packet, TimeNs extra) {
+    JUG_CHECK(sink_ != nullptr);
+    JUG_CHECK(extra >= 0);
+    mailbox_->Push(std::move(packet), *src_now_ + latency_ + extra, sink_);
+  }
+
+  void Accept(PacketPtr packet) override { Deliver(std::move(packet), 0); }
+
+ private:
+  ShardMailbox* mailbox_;
+  const TimeNs* src_now_;
+  PacketSink* sink_ = nullptr;
+  TimeNs latency_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_SIM_SHARD_MAILBOX_H_

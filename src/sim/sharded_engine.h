@@ -1,0 +1,150 @@
+// Conservative parallel discrete-event engine: one large scenario, many
+// cores, zero rollback.
+//
+// The scenario is split into *domains* — fixed partitions (one host, one
+// switch) that each own a private EventLoop, PacketPool and PacketFactory.
+// The only coupling between domains is a wire crossing with a fixed minimum
+// latency, registered via Connect(); the smallest such latency is the
+// engine's *lookahead* L. Execution proceeds in windows:
+//
+//   1. m  = min over all domains of the next pending event time.
+//   2. Every domain runs independently (in parallel) up to
+//      window_end = min(deadline, m + L). No event executed in this window
+//      can affect another domain before window_end: a packet emitted at
+//      local time t >= m crosses the wire no earlier than t + L >= m + L.
+//   3. Barrier. Each domain drains its inbound mailboxes and schedules the
+//      arrivals (all >= window_end by the argument above — checked) into its
+//      own loop. Barrier. Repeat.
+//
+// Determinism is by construction, not by tie-breaking heuristics: the domain
+// graph, the window sequence (a function of global event times and L only)
+// and each domain's intra-window execution are all independent of how many
+// worker threads multiplex the domains. `shards=N` therefore changes wall
+// clock and nothing else — byte-identical digests for N=1 and N=8. Equal
+// arrival timestamps order by (inbound-mailbox registration order, push
+// order) via the destination loop's FIFO tie-break, which is the
+// (timestamp, source shard, sequence) ordering in concrete form.
+//
+// Threading: worker 0 is the calling thread; W-1 helpers are spawned per
+// Run() (W is the shard knob clamped by ThreadBudget and the domain count).
+// Domains are assigned statically (index mod W). Three barrier crossings per
+// window separate (round publication) -> run -> inject; all cross-thread
+// data (mailboxes, loops read for `m`) is touched only on the correct side
+// of a barrier, so the engine needs no locks and runs TSan-clean. While a
+// worker executes a domain, that domain's pool is made thread-ambient
+// (PacketPool::SwapThreadPool), so allocations stamp the domain pool and
+// cross-shard releases recycle back to it through the return stack.
+//
+// Teardown: ~ShardedEngine frees mailbox contents, then Shutdown()s every
+// loop (freeing packets riding timers), and only then lets the domain pools
+// die — satisfying the stamped-pool lifetime contract even for packets that
+// crossed domains.
+
+#ifndef JUGGLER_SRC_SIM_SHARDED_ENGINE_H_
+#define JUGGLER_SRC_SIM_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/packet/packet.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/shard_mailbox.h"
+#include "src/util/time.h"
+
+namespace juggler {
+
+// One partition of the scenario: a private event loop, packet pool (stamped
+// for cross-thread return) and id-assigning factory. Components of this
+// domain are constructed against loop()/factory() exactly as they would be
+// against a scenario-wide loop.
+class ShardDomain {
+ public:
+  explicit ShardDomain(std::string name) : name_(std::move(name)) {}
+
+  EventLoop& loop() { return loop_; }
+  PacketFactory& factory() { return factory_; }
+  PacketPool& pool() { return pool_; }
+  const std::string& name() const { return name_; }
+  uint64_t executed_events() const { return loop_.executed_events(); }
+
+ private:
+  friend class ShardedEngine;
+
+  std::string name_;
+  // Pool declared before the loop: the loop (which may still reference pool
+  // storage until Shutdown) is destroyed first.
+  PacketPool pool_{PacketPool::CrossThreadReturnTag{}};
+  EventLoop loop_;
+  PacketFactory factory_;
+  std::vector<ShardMailbox*> inbound_;  // registration order = tie-break order
+  uint64_t injected_ = 0;               // packets received from other domains
+};
+
+struct ShardedEngineStats {
+  uint64_t windows = 0;          // lookahead rounds executed
+  uint64_t crossings = 0;        // packets handed between domains
+  size_t workers = 0;            // actual worker threads used by last Run()
+  TimeNs lookahead = 0;          // 0 when no cross-domain links exist
+  // Wall-clock nanoseconds each worker spent blocked on barriers (imbalance
+  // indicator); index 0 is the calling thread.
+  std::vector<uint64_t> barrier_wait_ns;
+};
+
+class ShardedEngine {
+ public:
+  // `shards` is the requested worker count; the effective count is clamped
+  // to [1, domains] and to the process ThreadBudget at Run() time.
+  explicit ShardedEngine(size_t shards);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Topology construction (single-threaded, before Run).
+  ShardDomain* AddDomain(std::string name);
+
+  // Register a wire crossing from `src` to `dst` with the given minimum
+  // latency (> 0); returns the endpoint producers in `src` write to. The
+  // engine's lookahead is the minimum latency over all crossings.
+  RemoteEndpoint* Connect(ShardDomain* src, ShardDomain* dst, TimeNs latency);
+
+  // Run every domain to `deadline` under the window protocol; afterwards
+  // each domain's loop sits at now() == deadline, exactly like RunUntil.
+  void Run(TimeNs deadline);
+
+  size_t domain_count() const { return domains_.size(); }
+  ShardDomain* domain(size_t i) { return domains_[i].get(); }
+  const ShardedEngineStats& stats() const { return stats_; }
+
+ private:
+  // Publishes the next window (or the stop flag) into window_end_/stop_.
+  // Called by worker 0 only, while all other workers are parked.
+  void PrepareRound();
+  void RunPhase(size_t worker, size_t num_workers);
+  void InjectPhase(size_t worker, size_t num_workers);
+  void RunSingleThreaded();
+  void RunMultiThreaded(size_t num_workers);
+
+  static constexpr TimeNs kNoLookahead = INT64_MAX;
+
+  const size_t requested_shards_;
+  std::vector<std::unique_ptr<ShardDomain>> domains_;
+  std::vector<std::unique_ptr<ShardMailbox>> mailboxes_;
+  std::vector<std::unique_ptr<RemoteEndpoint>> endpoints_;
+  TimeNs lookahead_ = kNoLookahead;
+
+  // Per-Run() round state. Written by worker 0 in PrepareRound, read by all
+  // workers after the round-publication barrier.
+  TimeNs deadline_ = 0;
+  TimeNs window_end_ = 0;
+  bool stop_ = false;
+  bool final_round_pending_ = false;
+
+  ShardedEngineStats stats_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_SIM_SHARDED_ENGINE_H_

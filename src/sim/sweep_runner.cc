@@ -3,7 +3,7 @@
 namespace juggler {
 
 size_t SweepWorkerCount(size_t num_points, size_t num_threads) {
-  size_t workers = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  size_t workers = num_threads != 0 ? num_threads : ThreadBudget::Total();
   if (workers == 0) {
     workers = 1;
   }

@@ -23,23 +23,29 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/thread_budget.h"
+
 namespace juggler {
 
-// Worker count used when `num_threads` is 0: the hardware concurrency,
-// bounded so a sweep of N points never spawns idle threads.
+// Worker count used when `num_threads` is 0: the process thread budget
+// (JUGGLER_THREADS override, else hardware concurrency), bounded so a sweep
+// of N points never spawns idle threads.
 size_t SweepWorkerCount(size_t num_points, size_t num_threads);
 
 // Runs `point_fn(i)` for i in [0, num_points) across `num_threads` workers
-// (0 = one per hardware thread) and returns the results indexed by point.
-// `point_fn` must be callable concurrently from multiple threads; with
-// num_threads == 1 (or one-core machines) everything runs on the calling
-// thread's pool of one.
+// (0 = one per budgeted thread) and returns the results indexed by point.
+// The worker count is drawn from the shared ThreadBudget, so a sweep whose
+// points themselves run sharded scenarios degrades to fewer inner workers
+// instead of oversubscribing. `point_fn` must be callable concurrently from
+// multiple threads; the calling thread is worker 0, so with one worker
+// everything runs inline.
 template <typename PointFn>
 auto RunSweep(size_t num_points, PointFn&& point_fn, size_t num_threads = 0)
     -> std::vector<decltype(point_fn(size_t{0}))> {
   using Result = decltype(point_fn(size_t{0}));
   std::vector<std::optional<Result>> slots(num_points);
-  const size_t workers = SweepWorkerCount(num_points, num_threads);
+  const size_t workers =
+      ThreadBudget::Acquire(SweepWorkerCount(num_points, num_threads));
 
   std::atomic<size_t> next{0};
   auto drain = [&] {
@@ -55,14 +61,16 @@ auto RunSweep(size_t num_points, PointFn&& point_fn, size_t num_threads = 0)
     drain();
   } else {
     std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
+    pool.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w) {
       pool.emplace_back(drain);
     }
+    drain();
     for (auto& t : pool) {
       t.join();
     }
   }
+  ThreadBudget::Release(workers);
 
   std::vector<Result> results;
   results.reserve(num_points);

@@ -1,0 +1,172 @@
+// Sharded engine: lookahead-window correctness, cross-shard packet
+// recycling, and the headline guarantee — chaos digests are byte-identical
+// no matter how many workers multiplex the shard domains.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/packet/packet.h"
+#include "src/scenario/chaos_scenario.h"
+#include "src/scenario/topologies.h"
+#include "src/sim/shard_mailbox.h"
+#include "src/sim/sharded_engine.h"
+#include "src/util/thread_budget.h"
+#include "src/util/time.h"
+
+namespace juggler {
+namespace {
+
+// The 1-CPU CI box would clamp every run to one worker and never exercise
+// the threaded path; the budget override keeps the thread count honest to
+// the requested shard counts.
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setenv("JUGGLER_THREADS", "8", 1); }
+  void TearDown() override { unsetenv("JUGGLER_THREADS"); }
+};
+
+struct CollectorSink : PacketSink {
+  EventLoop* loop;
+  std::vector<TimeNs> arrivals;
+  explicit CollectorSink(EventLoop* l) : loop(l) {}
+  void Accept(PacketPtr) override { arrivals.push_back(loop->now()); }
+};
+
+// Regression: a packet emitted at time t crossing with latency L arrives at
+// exactly t + L == the lookahead horizon of the window that emitted it. The
+// envelope must survive the barrier (not be dropped as stale) and execute in
+// the next window at precisely that timestamp.
+TEST_F(ShardedEngineTest, ArrivalExactlyAtLookaheadHorizonIsDelivered) {
+  const TimeNs kLatency = Us(3);
+  ShardedEngine engine(2);
+  ShardDomain* a = engine.AddDomain("a");
+  ShardDomain* b = engine.AddDomain("b");
+  RemoteEndpoint* ep = engine.Connect(a, b, kLatency);
+  CollectorSink sink(&b->loop());
+  ep->set_sink(&sink);
+
+  // Window 1: m = 0, horizon = 0 + L. The emission at t=0 arrives at exactly
+  // the horizon; a second emission mid-window lands past it.
+  a->loop().ScheduleAt(0, [&] { ep->Accept(AllocPacket()); });
+  a->loop().ScheduleAt(Us(1), [&] { ep->Deliver(AllocPacket(), Us(10)); });
+  engine.Run(Ms(1));
+
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0], kLatency);           // == first window's horizon
+  EXPECT_EQ(sink.arrivals[1], Us(1) + kLatency + Us(10));
+  EXPECT_EQ(engine.stats().crossings, 2u);
+  EXPECT_GE(engine.stats().windows, 2u);
+  EXPECT_EQ(b->loop().now(), Ms(1));  // clocks pinned to the deadline
+}
+
+// A ping-pong chain across domains: every hop lands exactly on a window
+// horizon, for many windows in a row, under real worker threads.
+TEST_F(ShardedEngineTest, HorizonPingPongAcrossThreads) {
+  const TimeNs kLatency = Us(5);
+  ShardedEngine engine(2);
+  ShardDomain* a = engine.AddDomain("a");
+  ShardDomain* b = engine.AddDomain("b");
+  RemoteEndpoint* to_b = engine.Connect(a, b, kLatency);
+  RemoteEndpoint* to_a = engine.Connect(b, a, kLatency);
+
+  struct Echo : PacketSink {
+    RemoteEndpoint* reply;
+    int hops = 0;
+    void Accept(PacketPtr p) override {
+      ++hops;
+      reply->Accept(std::move(p));
+    }
+  };
+  Echo on_b;
+  on_b.reply = to_a;
+  Echo on_a;
+  on_a.reply = to_b;
+  to_b->set_sink(&on_b);
+  to_a->set_sink(&on_a);
+
+  a->loop().ScheduleAt(0, [&] { to_b->Accept(AllocPacket()); });
+  engine.Run(Us(100));  // 20 hops of 5us each
+
+  EXPECT_EQ(on_b.hops + on_a.hops, 20);
+  EXPECT_EQ(engine.stats().workers, 2u);
+}
+
+// Cross-thread recycling: storage released on a foreign thread returns to
+// its origin pool's return stack and is reused by the next Acquire.
+TEST(PacketPoolCrossThread, RemoteReleaseRecyclesToOrigin) {
+  PacketPool pool{PacketPool::CrossThreadReturnTag{}};
+  Packet* storage = pool.Acquire();
+  EXPECT_EQ(storage->pool_origin, &pool);
+  std::thread([p = PacketPtr(storage)]() mutable { p.reset(); }).join();
+  EXPECT_EQ(pool.free_size(), 0u);  // parked on the return stack, not free_
+  Packet* again = pool.Acquire();
+  EXPECT_EQ(again, storage);
+  EXPECT_EQ(pool.recycled(), 1u);
+  pool.Release(again);
+}
+
+// A clone keeps its own storage's pool bookkeeping, not the source's.
+TEST(PacketPoolCrossThread, CloneKeepsOwnOrigin) {
+  PacketPool pool{PacketPool::CrossThreadReturnTag{}};
+  PacketPtr src(pool.Acquire());
+  src->seq = 42;
+  PacketPtr dup = ClonePacket(*src);  // thread-ambient storage
+  EXPECT_EQ(dup->seq, Seq(42));
+  EXPECT_EQ(dup->pool_origin, nullptr);
+  EXPECT_EQ(src->pool_origin, &pool);
+}
+
+TEST(ThreadBudgetTest, EnvOverrideAndNestedDegradation) {
+  setenv("JUGGLER_THREADS", "3", 1);
+  EXPECT_EQ(ThreadBudget::Total(), 3u);
+  const size_t outer = ThreadBudget::Acquire(5);
+  EXPECT_EQ(outer, 3u);
+  // Budget exhausted: an inner layer still gets its own calling thread.
+  const size_t inner = ThreadBudget::Acquire(4);
+  EXPECT_EQ(inner, 1u);
+  ThreadBudget::Release(inner);
+  ThreadBudget::Release(outer);
+  EXPECT_EQ(ThreadBudget::InUse(), 0u);
+  unsetenv("JUGGLER_THREADS");
+  EXPECT_GE(ThreadBudget::Total(), 1u);
+}
+
+// The tentpole guarantee: the worker count is a pure performance knob.
+// Chaos digests fold every observable counter of the run (delivery, faults,
+// retransmits, GRO behavior); they must be byte-identical for 1, 2 and 8
+// shards, under both a link-flap schedule and a checksum-drop (corruption)
+// schedule, for both engines.
+void ExpectShardCountInvariant(FaultFamily family) {
+  ChaosOptions opt;
+  opt.family = family;
+  opt.seed = 7;
+  opt.shards = 1;
+  const ChaosResult base = RunChaos(opt);
+  EXPECT_TRUE(base.ok) << FaultFamilyName(family);
+  for (size_t shards : {size_t{2}, size_t{8}}) {
+    opt.shards = shards;
+    const ChaosResult r = RunChaos(opt);
+    EXPECT_TRUE(r.ok) << FaultFamilyName(family) << " shards=" << shards;
+    EXPECT_EQ(r.juggler.digest, base.juggler.digest)
+        << FaultFamilyName(family) << " shards=" << shards;
+    EXPECT_EQ(r.baseline.digest, base.baseline.digest)
+        << FaultFamilyName(family) << " shards=" << shards;
+    EXPECT_EQ(r.juggler.shard_windows, base.juggler.shard_windows);
+    EXPECT_EQ(r.juggler.shard_crossings, base.juggler.shard_crossings);
+    EXPECT_EQ(r.juggler.shard_events, base.juggler.shard_events);
+  }
+}
+
+TEST_F(ShardedEngineTest, ChaosDigestInvariantUnderLinkFlap) {
+  ExpectShardCountInvariant(FaultFamily::kLinkFlap);
+}
+
+TEST_F(ShardedEngineTest, ChaosDigestInvariantUnderChecksumDrops) {
+  ExpectShardCountInvariant(FaultFamily::kCorrupt);
+}
+
+}  // namespace
+}  // namespace juggler
