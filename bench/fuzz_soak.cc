@@ -1,0 +1,77 @@
+// Fuzz soak: the forensics layer's long-running acceptance run.
+//
+// Drives the full fuzz supervisor — randomized ScenarioSpecs, watchdogged
+// child execution, signature classification, delta-debug shrinking — for a
+// wall-clock budget (default 60s) and reports throughput plus any findings.
+// A healthy tree produces zero findings; any finding prints its shrunk spec
+// and (with --out) leaves a replayable bundle behind.
+//
+//   ./build/bench/fuzz_soak                 # 60s budget, seed 1
+//   ./build/bench/fuzz_soak --budget-ms 300000 --seed 9 --out repro/
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "src/forensics/fuzz_supervisor.h"
+
+namespace juggler {
+namespace {
+
+int Run(int argc, char** argv) {
+  FuzzOptions opt;
+  opt.num_specs = 1'000'000;  // budget-bound, not count-bound
+  opt.time_budget_ms = 60'000;
+  opt.verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--budget-ms") == 0) {
+      opt.time_budget_ms = std::atoll(next("--budget-ms"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      opt.out_dir = next("--out");
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--budget-ms B] [--seed S] [--out DIR] [--verbose]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  PrintHeader("fuzz soak",
+              "randomized chaos scenarios in watchdogged children, failures\n"
+              "classified into signatures, shrunk, and bundled for replay");
+  std::printf("budget %lldms, seed %llu\n\n", (long long)opt.time_budget_ms,
+              static_cast<unsigned long long>(opt.seed));
+
+  const FuzzReport report = RunFuzz(opt);
+
+  std::printf("%d specs run, %d failing, %zu distinct finding(s)\n", report.specs_run,
+              report.failures, report.findings.size());
+  const double per_spec = report.specs_run > 0
+                              ? static_cast<double>(opt.time_budget_ms) / report.specs_run
+                              : 0.0;
+  std::printf("~%.0fms per spec (fork + differential run + classification)\n", per_spec);
+  for (const FuzzFinding& f : report.findings) {
+    std::printf("  [%016llx] %s: %s (spec #%d, shrunk to %zu timeline events)\n",
+                static_cast<unsigned long long>(f.signature.fingerprint),
+                SignatureKindName(f.signature.kind), f.signature.detail.c_str(), f.spec_index,
+                f.shrunk.TimelineEvents());
+  }
+  std::printf("\n%s\n", report.findings.empty() ? "PASS" : "FAIL");
+  return report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace juggler
+
+int main(int argc, char** argv) { return juggler::Run(argc, argv); }

@@ -37,20 +37,6 @@ const FaultFamily kAllFamilies[] = {
     FaultFamily::kDelaySpike, FaultFamily::kLinkFlap,
 };
 
-bool ParseFamily(const char* name, FaultFamily* out) {
-  for (FaultFamily f : kAllFamilies) {
-    if (std::strcmp(name, FaultFamilyName(f)) == 0) {
-      *out = f;
-      return true;
-    }
-  }
-  if (std::strcmp(name, "mixed") == 0) {
-    *out = FaultFamily::kMixed;
-    return true;
-  }
-  return false;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,7 +68,7 @@ int main(int argc, char** argv) {
       shards = static_cast<size_t>(std::strtoull(next("--shards"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--family") == 0) {
       FaultFamily f;
-      if (!ParseFamily(next("--family"), &f)) {
+      if (!ParseFaultFamily(next("--family"), &f)) {
         std::fprintf(stderr, "unknown family (drop-burst duplicate corrupt delay-spike "
                              "link-flap mixed)\n");
         return 2;
@@ -133,7 +119,8 @@ int main(int argc, char** argv) {
         for (uint64_t ns : r.juggler.shard_barrier_wait_ns) {
           std::printf(" %.2fms", static_cast<double>(ns) / 1e6);
         }
-        std::printf("\n");
+        std::printf("; mailbox hwm=%zu overflow=%llu\n", r.juggler.shard_mailbox_hwm,
+                    static_cast<unsigned long long>(r.juggler.shard_mailbox_overflows));
       }
       if (!r.ok) {
         ++failures;

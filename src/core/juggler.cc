@@ -127,6 +127,10 @@ TimeNs Juggler::FlushAll(FlowEntry* entry, FlushReason reason) {
     Deliver(run.Take(), reason);
     cost += costs_->gro_flush_per_segment;
   }
+  if (config_.debug_flush_accounting_skew && reason == FlushReason::kOfoTimeout &&
+      !entry->ooo_queue.empty()) {
+    ++jstats_.buffered_bytes_out;  // planted off-by-one (see JugglerConfig)
+  }
   entry->ooo_queue.clear();
   return cost;
 }

@@ -58,6 +58,11 @@ struct JugglerConfig {
   // Remark 1 ablation: when false, seq_next is pinned to the first packet's
   // sequence number instead of learning a minimum during build-up.
   bool enable_buildup_phase = true;
+  // Test-only planted defect for the failure-forensics harness: over-counts
+  // buffered_bytes_out by one on every Table-2 row-6 (ofo_timeout) flush
+  // that moved data, breaking the conservation law the auditor enforces.
+  // Must stay false outside forensics tests.
+  bool debug_flush_accounting_skew = false;
 };
 
 enum class FlowPhase : uint8_t {

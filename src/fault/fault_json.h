@@ -1,0 +1,41 @@
+// JSON round-trip for the fault layer's declarative schedules.
+//
+// A FaultTimeline (packet-fault windows) and a list of FlapWindows (link
+// blackouts / brown-outs) are the mutable heart of a forensics ScenarioSpec:
+// the fuzz supervisor samples them, the shrinker rewrites them event by
+// event, and a repro bundle must carry them byte-exactly. Serialization
+// lives here, next to the types, so the schema and the structs cannot drift
+// apart silently.
+//
+// Schema notes: times are nanoseconds (integers), probabilities are doubles.
+// FromJson validates the same preconditions FaultStage's constructor
+// JUG_CHECKs (burst lengths, delay ordering), returning an error instead of
+// aborting — a malformed bundle is user input, not a programming error.
+
+#ifndef JUGGLER_SRC_FAULT_FAULT_JSON_H_
+#define JUGGLER_SRC_FAULT_FAULT_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_stage.h"
+#include "src/fault/link_flapper.h"
+#include "src/util/json.h"
+
+namespace juggler {
+
+Json FaultProfileToJson(const FaultProfile& profile);
+bool FaultProfileFromJson(const Json& json, FaultProfile* out, std::string* error);
+
+Json FaultTimelineToJson(const FaultTimeline& timeline);
+bool FaultTimelineFromJson(const Json& json, FaultTimeline* out, std::string* error);
+
+Json FlapWindowToJson(const FlapWindow& window);
+bool FlapWindowFromJson(const Json& json, FlapWindow* out, std::string* error);
+
+Json FlapWindowsToJson(const std::vector<FlapWindow>& windows);
+bool FlapWindowsFromJson(const Json& json, std::vector<FlapWindow>* out, std::string* error);
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_FAULT_FAULT_JSON_H_

@@ -1,0 +1,97 @@
+#include "src/forensics/repro_bundle.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace juggler {
+
+Json ReproBundle::ToJson() const {
+  Json j = Json::Object();
+  j.Set("version", Json::Int(version));
+  j.Set("signature", signature.ToJson());
+  j.Set("spec", spec.ToJson());
+  j.Set("notes", Json::Str(notes));
+  return j;
+}
+
+bool ReproBundle::FromJson(const Json& json, ReproBundle* out, std::string* error) {
+  if (!json.is_object()) {
+    *error = "bundle: not an object";
+    return false;
+  }
+  ReproBundle b;
+  int64_t version = 1;
+  if (!json.GetInt("version", &version) || !json.GetString("notes", &b.notes)) {
+    *error = "bundle: field with wrong type";
+    return false;
+  }
+  b.version = static_cast<int>(version);
+  if (b.version != 1) {
+    *error = "bundle: unsupported version " + std::to_string(b.version);
+    return false;
+  }
+  const Json* sig = json.Find("signature");
+  if (sig == nullptr || !FailureSignature::FromJson(*sig, &b.signature, error)) {
+    if (sig == nullptr) {
+      *error = "bundle: missing signature";
+    }
+    return false;
+  }
+  const Json* spec = json.Find("spec");
+  if (spec == nullptr || !ScenarioSpec::FromJson(*spec, &b.spec, error)) {
+    if (spec == nullptr) {
+      *error = "bundle: missing spec";
+    }
+    return false;
+  }
+  *out = std::move(b);
+  return true;
+}
+
+bool WriteBundleFile(const ReproBundle& bundle, const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string text = bundle.ToJson().Dump(/*indent=*/2) + "\n";
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) {
+    *error = "short write to " + path;
+  }
+  return ok;
+}
+
+bool ReadBundleFile(const std::string& path, ReproBundle* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  Json json;
+  if (!Json::Parse(text, &json, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return ReproBundle::FromJson(json, out, error);
+}
+
+ReplayResult ReplayBundle(const ReproBundle& bundle, int timeout_ms) {
+  ReplayResult result;
+  ExecOptions exec;
+  exec.timeout_ms = timeout_ms;
+  result.outcome = ExecuteSpec(bundle.spec, exec);
+  result.observed = result.outcome.signature;
+  result.reproduced = result.observed.fingerprint == bundle.signature.fingerprint;
+  return result;
+}
+
+}  // namespace juggler

@@ -1,0 +1,46 @@
+// Repro bundles: a self-contained, replayable record of one failure.
+//
+// A bundle is one JSON file holding the (shrunk) ScenarioSpec, the
+// FailureSignature it must reproduce, and free-text provenance notes. It is
+// the unit of exchange between the fuzzer and a human: `fuzz_runner` writes
+// one per distinct fingerprint, `replay_runner --bundle x.json` re-executes
+// it (watchdogged, like the fuzzer did) and checks the observed signature
+// against the recorded one — deterministic replay, not just "it crashed
+// again".
+
+#ifndef JUGGLER_SRC_FORENSICS_REPRO_BUNDLE_H_
+#define JUGGLER_SRC_FORENSICS_REPRO_BUNDLE_H_
+
+#include <string>
+
+#include "src/forensics/failure_signature.h"
+#include "src/forensics/scenario_spec.h"
+#include "src/forensics/spec_executor.h"
+
+namespace juggler {
+
+struct ReproBundle {
+  int version = 1;
+  ScenarioSpec spec;
+  FailureSignature signature;
+  std::string notes;  // provenance: fuzz seed, spec index, shrink stats
+
+  Json ToJson() const;
+  static bool FromJson(const Json& json, ReproBundle* out, std::string* error);
+};
+
+bool WriteBundleFile(const ReproBundle& bundle, const std::string& path, std::string* error);
+bool ReadBundleFile(const std::string& path, ReproBundle* out, std::string* error);
+
+struct ReplayResult {
+  bool reproduced = false;       // observed fingerprint == recorded one
+  FailureSignature observed;
+  SpecOutcome outcome;           // full evidence from the replay child
+};
+
+// One watchdogged replay of the bundle's spec.
+ReplayResult ReplayBundle(const ReproBundle& bundle, int timeout_ms);
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_FORENSICS_REPRO_BUNDLE_H_

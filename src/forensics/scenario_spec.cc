@@ -1,0 +1,166 @@
+#include "src/forensics/scenario_spec.h"
+
+#include <utility>
+
+#include "src/fault/fault_json.h"
+
+namespace juggler {
+
+ChaosOptions ScenarioSpec::ToChaosOptions() const {
+  ChaosOptions opt;
+  opt.seed = seed;
+  opt.family = family;
+  opt.transfer_bytes = transfer_bytes;
+  opt.time_limit = time_limit;
+  opt.reorder_delay = reorder_delay;
+  opt.num_windows = num_windows;
+  opt.audit = true;
+  opt.shards = static_cast<size_t>(shards);
+  opt.shard_mailbox_capacity = static_cast<size_t>(shard_mailbox_capacity);
+  opt.link_rate_bps = link_rate_bps;
+  opt.base_delay = base_delay;
+  opt.int_coalesce = int_coalesce;
+  opt.inseq_timeout = inseq_timeout;
+  opt.ofo_timeout = ofo_timeout;
+  opt.max_flows = static_cast<size_t>(max_flows);
+  opt.use_explicit_faults = use_explicit_faults;
+  opt.fault_override = faults;
+  opt.use_explicit_flaps = use_explicit_flaps;
+  opt.flap_override = flaps;
+  opt.plant_flush_skew = plant_flush_skew;
+  return opt;
+}
+
+void ScenarioSpec::Materialize() {
+  const ChaosOptions opt = ToChaosOptions();
+  if (!use_explicit_faults) {
+    faults = DeriveChaosFaults(opt);
+    use_explicit_faults = true;
+  }
+  if (!use_explicit_flaps) {
+    flaps = DeriveChaosFlaps(opt);
+    use_explicit_flaps = true;
+  }
+}
+
+size_t ScenarioSpec::TimelineEvents() const {
+  const ChaosOptions opt = ToChaosOptions();
+  const size_t fault_windows =
+      use_explicit_faults ? faults.windows().size() : DeriveChaosFaults(opt).windows().size();
+  const size_t flap_windows =
+      use_explicit_flaps ? flaps.size() : DeriveChaosFlaps(opt).size();
+  return fault_windows + flap_windows;
+}
+
+Json ScenarioSpec::ToJson() const {
+  Json j = Json::Object();
+  j.Set("seed", Json::Uint(seed));
+  j.Set("family", Json::Str(FaultFamilyName(family)));
+  j.Set("transfer_bytes", Json::Uint(transfer_bytes));
+  j.Set("time_limit_ns", Json::Int(time_limit));
+  j.Set("num_windows", Json::Int(num_windows));
+  j.Set("link_rate_bps", Json::Int(link_rate_bps));
+  j.Set("base_delay_ns", Json::Int(base_delay));
+  j.Set("reorder_delay_ns", Json::Int(reorder_delay));
+  j.Set("int_coalesce_ns", Json::Int(int_coalesce));
+  j.Set("inseq_timeout_ns", Json::Int(inseq_timeout));
+  j.Set("ofo_timeout_ns", Json::Int(ofo_timeout));
+  j.Set("max_flows", Json::Uint(max_flows));
+  j.Set("shards", Json::Uint(shards));
+  j.Set("shard_mailbox_capacity", Json::Uint(shard_mailbox_capacity));
+  j.Set("check_shard_divergence", Json::Bool(check_shard_divergence));
+  j.Set("use_explicit_faults", Json::Bool(use_explicit_faults));
+  if (use_explicit_faults) {
+    j.Set("faults", FaultTimelineToJson(faults));
+  }
+  j.Set("use_explicit_flaps", Json::Bool(use_explicit_flaps));
+  if (use_explicit_flaps) {
+    j.Set("flaps", FlapWindowsToJson(flaps));
+  }
+  if (plant_flush_skew) {
+    j.Set("plant_flush_skew", Json::Bool(true));
+  }
+  if (plant_wedge) {
+    j.Set("plant_wedge", Json::Bool(true));
+  }
+  return j;
+}
+
+bool ScenarioSpec::FromJson(const Json& json, ScenarioSpec* out, std::string* error) {
+  if (!json.is_object()) {
+    *error = "spec: not an object";
+    return false;
+  }
+  ScenarioSpec s;
+  std::string family_name = FaultFamilyName(s.family);
+  int64_t num_windows = s.num_windows;
+  if (!json.GetUint("seed", &s.seed) || !json.GetString("family", &family_name) ||
+      !json.GetUint("transfer_bytes", &s.transfer_bytes) ||
+      !json.GetInt("time_limit_ns", &s.time_limit) || !json.GetInt("num_windows", &num_windows) ||
+      !json.GetInt("link_rate_bps", &s.link_rate_bps) ||
+      !json.GetInt("base_delay_ns", &s.base_delay) ||
+      !json.GetInt("reorder_delay_ns", &s.reorder_delay) ||
+      !json.GetInt("int_coalesce_ns", &s.int_coalesce) ||
+      !json.GetInt("inseq_timeout_ns", &s.inseq_timeout) ||
+      !json.GetInt("ofo_timeout_ns", &s.ofo_timeout) || !json.GetUint("max_flows", &s.max_flows) ||
+      !json.GetUint("shards", &s.shards) ||
+      !json.GetUint("shard_mailbox_capacity", &s.shard_mailbox_capacity) ||
+      !json.GetBool("check_shard_divergence", &s.check_shard_divergence) ||
+      !json.GetBool("use_explicit_faults", &s.use_explicit_faults) ||
+      !json.GetBool("use_explicit_flaps", &s.use_explicit_flaps) ||
+      !json.GetBool("plant_flush_skew", &s.plant_flush_skew) ||
+      !json.GetBool("plant_wedge", &s.plant_wedge)) {
+    *error = "spec: field with wrong type";
+    return false;
+  }
+  if (!ParseFaultFamily(family_name.c_str(), &s.family)) {
+    *error = "spec: unknown family \"" + family_name + "\"";
+    return false;
+  }
+  s.num_windows = static_cast<int>(num_windows);
+  if (s.transfer_bytes == 0 || s.time_limit <= 0 || s.num_windows < 1 || s.link_rate_bps <= 0 ||
+      s.base_delay <= 0 || s.reorder_delay < 0 || s.int_coalesce < 0 || s.inseq_timeout <= 0 ||
+      s.ofo_timeout <= 0 || s.max_flows == 0) {
+    *error = "spec: parameter out of range";
+    return false;
+  }
+  if (const Json* f = json.Find("faults")) {
+    if (!FaultTimelineFromJson(*f, &s.faults, error)) {
+      return false;
+    }
+  }
+  if (const Json* f = json.Find("flaps")) {
+    if (!FlapWindowsFromJson(*f, &s.flaps, error)) {
+      return false;
+    }
+  }
+  *out = std::move(s);
+  return true;
+}
+
+ScenarioSpec SampleScenarioSpec(Rng* rng, const SampleLimits& limits) {
+  ScenarioSpec s;
+  s.seed = rng->NextU64();
+  // kMixed plus the five concrete families, equally weighted.
+  const uint64_t pick = rng->NextBounded(kNumFaultFamilies + 1);
+  s.family = pick == kNumFaultFamilies ? FaultFamily::kMixed : static_cast<FaultFamily>(pick);
+  s.transfer_bytes =
+      limits.min_transfer_bytes +
+      rng->NextBounded(limits.max_transfer_bytes - limits.min_transfer_bytes + 1);
+  s.num_windows = 1 + static_cast<int>(rng->NextBounded(static_cast<uint64_t>(limits.max_windows)));
+  s.reorder_delay = rng->NextInRange(Us(100), Us(400));
+  s.int_coalesce = rng->NextInRange(Us(60), Us(200));
+  // inseq below ofo, ofo comfortably above the reorder delay the family
+  // generators assume — the sampler explores timing, not configurations the
+  // stack documents as unsupported.
+  s.inseq_timeout = rng->NextInRange(Us(30), Us(90));
+  s.ofo_timeout = s.reorder_delay + rng->NextInRange(Us(50), Us(300));
+  s.max_flows = 8 + rng->NextBounded(57);  // [8, 64]
+  if (rng->NextBool(0.3)) {
+    s.shards = 1 + rng->NextBounded(4);  // sharded engine path
+  }
+  s.check_shard_divergence = rng->NextBool(limits.shard_divergence_prob);
+  return s;
+}
+
+}  // namespace juggler

@@ -1,0 +1,100 @@
+// ScenarioSpec: one chaos scenario, fully pinned, as a serializable value.
+//
+// The forensics layer treats "a run" as data: every knob that can change a
+// run's outcome — topology parameters, NIC and GRO timeouts, the fault and
+// flap timelines, the RNG seed, the shard count — lives in one struct that
+// round-trips through JSON byte-stably. The fuzz supervisor samples specs,
+// the executor runs them in watchdogged children, the shrinker rewrites
+// their timelines event by event, and a repro bundle carries one verbatim.
+//
+// A spec whose override flags are off behaves exactly like the classic
+// (family, seed) chaos recipe; Materialize() freezes the seed-derived
+// schedules into explicit form so subsequent edits cannot perturb any other
+// random draw.
+
+#ifndef JUGGLER_SRC_FORENSICS_SCENARIO_SPEC_H_
+#define JUGGLER_SRC_FORENSICS_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/scenario/chaos_scenario.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+
+namespace juggler {
+
+struct ScenarioSpec {
+  // Identity + workload.
+  uint64_t seed = 1;
+  FaultFamily family = FaultFamily::kMixed;
+  uint64_t transfer_bytes = 1'500'000;
+  TimeNs time_limit = Ms(800);
+  int num_windows = 3;
+
+  // Topology / NIC knobs.
+  int64_t link_rate_bps = 10 * kGbps;
+  TimeNs base_delay = Us(5);
+  TimeNs reorder_delay = Us(250);
+  TimeNs int_coalesce = Us(125);
+
+  // Juggler knobs (Table 2 timeouts, gro_table cap).
+  TimeNs inseq_timeout = Us(52);
+  TimeNs ofo_timeout = Us(300);
+  uint64_t max_flows = 64;
+
+  // Execution shape. shards == 0 is the legacy single event loop.
+  uint64_t shards = 0;
+  uint64_t shard_mailbox_capacity = 0;
+  // Oracle: additionally run the juggler engine at --shards 1 and
+  // --shards 2 and require bit-identical digests (the sharded engine's
+  // core determinism contract).
+  bool check_shard_divergence = false;
+
+  // Explicit timelines; when the flags are off the run derives both from
+  // (family, seed) exactly as RunChaos always has.
+  bool use_explicit_faults = false;
+  FaultTimeline faults;
+  bool use_explicit_flaps = false;
+  std::vector<FlapWindow> flaps;
+
+  // Test-only planted defects, for validating the forensics pipeline
+  // itself: a conservation-law off-by-one in the Juggler flush accounting,
+  // and a child that wedges in an infinite loop (exercises the watchdog).
+  bool plant_flush_skew = false;
+  bool plant_wedge = false;
+
+  // The ChaosOptions this spec pins (audit always on — the auditor is the
+  // primary failure oracle).
+  ChaosOptions ToChaosOptions() const;
+
+  // Freeze the (family, seed)-derived fault and flap schedules into the
+  // explicit fields, so the shrinker's edits are self-contained. No-op for
+  // already-explicit specs; the run is bit-identical either way.
+  void Materialize();
+
+  // Fault windows + flap windows currently in force (explicit or derived):
+  // the "event count" the shrinker minimizes.
+  size_t TimelineEvents() const;
+
+  Json ToJson() const;
+  static bool FromJson(const Json& json, ScenarioSpec* out, std::string* error);
+};
+
+// Bounds for sampled specs, chosen so a correct stack always completes the
+// transfer inside time_limit (the fuzzer hunts bugs, not resource limits).
+struct SampleLimits {
+  uint64_t min_transfer_bytes = 400'000;
+  uint64_t max_transfer_bytes = 2'000'000;
+  int max_windows = 4;
+  // Probability a sampled spec also runs the shard-divergence oracle
+  // (roughly doubles that spec's cost).
+  double shard_divergence_prob = 0.25;
+};
+
+// One random spec, every decision drawn from `rng`.
+ScenarioSpec SampleScenarioSpec(Rng* rng, const SampleLimits& limits);
+
+}  // namespace juggler
+
+#endif  // JUGGLER_SRC_FORENSICS_SCENARIO_SPEC_H_

@@ -1,0 +1,209 @@
+#include "src/forensics/shrinker.h"
+
+#include <utility>
+#include <vector>
+
+namespace juggler {
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const FailureSignature& target, const ShrinkOptions& options)
+      : target_(target), options_(options) {}
+
+  ShrinkResult Run(ScenarioSpec spec) {
+    spec.Materialize();
+    ShrinkResult result;
+    result.spec = std::move(spec);
+    result.signature = target_;
+    bool progressed = true;
+    while (progressed && !Exhausted()) {
+      progressed = false;
+      progressed |= DropFaultWindows(&result.spec);
+      progressed |= DropFlapWindows(&result.spec);
+      progressed |= HalveWindowSpans(&result.spec);
+      progressed |= HalveMagnitudes(&result.spec);
+      progressed |= ShrinkWorkload(&result.spec);
+    }
+    result.runs = runs_;
+    result.accepted = accepted_;
+    return result;
+  }
+
+ private:
+  bool Exhausted() const { return runs_ >= options_.max_runs; }
+
+  // Executes the candidate; true iff it still fails with the target
+  // signature (an accept).
+  bool StillFails(const ScenarioSpec& candidate) {
+    ++runs_;
+    ExecOptions exec;
+    exec.timeout_ms = options_.timeout_ms;
+    const SpecOutcome outcome = ExecuteSpec(candidate, exec);
+    if (outcome.signature.fingerprint != target_.fingerprint) {
+      return false;
+    }
+    ++accepted_;
+    return true;
+  }
+
+  // Drop whole fault windows, one at a time, restarting after each accept
+  // (indices shift). The loop is quadratic in windows but windows are few.
+  bool DropFaultWindows(ScenarioSpec* spec) {
+    bool any = false;
+    bool again = true;
+    while (again && !Exhausted()) {
+      again = false;
+      const auto& windows = spec->faults.windows();
+      for (size_t skip = 0; skip < windows.size(); ++skip) {
+        ScenarioSpec candidate = *spec;
+        FaultTimeline pruned;
+        for (size_t i = 0; i < windows.size(); ++i) {
+          if (i != skip) {
+            pruned.Add(windows[i].start, windows[i].end, windows[i].profile);
+          }
+        }
+        candidate.faults = std::move(pruned);
+        if (StillFails(candidate)) {
+          *spec = std::move(candidate);
+          any = again = true;
+          break;
+        }
+        if (Exhausted()) {
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool DropFlapWindows(ScenarioSpec* spec) {
+    bool any = false;
+    bool again = true;
+    while (again && !Exhausted()) {
+      again = false;
+      for (size_t skip = 0; skip < spec->flaps.size(); ++skip) {
+        ScenarioSpec candidate = *spec;
+        candidate.flaps.erase(candidate.flaps.begin() + static_cast<ptrdiff_t>(skip));
+        if (StillFails(candidate)) {
+          *spec = std::move(candidate);
+          any = again = true;
+          break;
+        }
+        if (Exhausted()) {
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  // Halve each surviving window's duration (fault windows from the end,
+  // flap windows from up_at). One attempt per window per round.
+  bool HalveWindowSpans(ScenarioSpec* spec) {
+    bool any = false;
+    for (size_t i = 0; i < spec->faults.windows().size() && !Exhausted(); ++i) {
+      const auto& w = spec->faults.windows()[i];
+      const TimeNs span = w.end - w.start;
+      if (span <= Ms(1)) {
+        continue;
+      }
+      ScenarioSpec candidate = *spec;
+      FaultTimeline edited;
+      for (size_t k = 0; k < spec->faults.windows().size(); ++k) {
+        auto win = spec->faults.windows()[k];
+        if (k == i) {
+          win.end = win.start + span / 2;
+        }
+        edited.Add(win.start, win.end, win.profile);
+      }
+      candidate.faults = std::move(edited);
+      if (StillFails(candidate)) {
+        *spec = std::move(candidate);
+        any = true;
+      }
+    }
+    for (size_t i = 0; i < spec->flaps.size() && !Exhausted(); ++i) {
+      const TimeNs span = spec->flaps[i].up_at - spec->flaps[i].down_at;
+      if (span <= Ms(1)) {
+        continue;
+      }
+      ScenarioSpec candidate = *spec;
+      candidate.flaps[i].up_at = candidate.flaps[i].down_at + span / 2;
+      if (StillFails(candidate)) {
+        *spec = std::move(candidate);
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  // Halve fault probabilities and delay magnitudes per window.
+  bool HalveMagnitudes(ScenarioSpec* spec) {
+    bool any = false;
+    for (size_t i = 0; i < spec->faults.windows().size() && !Exhausted(); ++i) {
+      const FaultProfile& p = spec->faults.windows()[i].profile;
+      FaultProfile halved = p;
+      halved.drop_prob = p.drop_prob / 2;
+      halved.burst_prob = p.burst_prob / 2;
+      halved.dup_prob = p.dup_prob / 2;
+      halved.corrupt_prob = p.corrupt_prob / 2;
+      halved.truncate_prob = p.truncate_prob / 2;
+      halved.delay_prob = p.delay_prob / 2;
+      if (halved.delay_max > halved.delay_min) {
+        halved.delay_max = halved.delay_min + (halved.delay_max - halved.delay_min) / 2;
+      }
+      if (!p.any()) {
+        continue;
+      }
+      ScenarioSpec candidate = *spec;
+      FaultTimeline edited;
+      for (size_t k = 0; k < spec->faults.windows().size(); ++k) {
+        const auto& win = spec->faults.windows()[k];
+        edited.Add(win.start, win.end, k == i ? halved : win.profile);
+      }
+      candidate.faults = std::move(edited);
+      if (StillFails(candidate)) {
+        *spec = std::move(candidate);
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  // Halve the transfer and the time budget toward their floors.
+  bool ShrinkWorkload(ScenarioSpec* spec) {
+    bool any = false;
+    if (spec->transfer_bytes / 2 >= options_.min_transfer_bytes && !Exhausted()) {
+      ScenarioSpec candidate = *spec;
+      candidate.transfer_bytes /= 2;
+      if (StillFails(candidate)) {
+        *spec = std::move(candidate);
+        any = true;
+      }
+    }
+    if (spec->time_limit / 2 >= options_.min_time_limit && !Exhausted()) {
+      ScenarioSpec candidate = *spec;
+      candidate.time_limit /= 2;
+      if (StillFails(candidate)) {
+        *spec = std::move(candidate);
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  const FailureSignature target_;
+  const ShrinkOptions options_;
+  int runs_ = 0;
+  int accepted_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult ShrinkSpec(const ScenarioSpec& failing, const FailureSignature& target,
+                        const ShrinkOptions& options) {
+  return Shrinker(target, options).Run(failing);
+}
+
+}  // namespace juggler

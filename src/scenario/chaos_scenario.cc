@@ -1,5 +1,6 @@
 #include "src/scenario/chaos_scenario.h"
 
+#include <cstring>
 #include <utility>
 
 #include "src/fault/audit_log.h"
@@ -55,23 +56,31 @@ FaultProfile DelaySpikeProfile(Rng* rng) {
   return p;
 }
 
+// The transfer's line-rate duration, the anchor for fault and flap windows —
+// anchoring to the (generous) time budget would schedule every fault after
+// the last byte already landed.
+TimeNs NominalTransferTime(const ChaosOptions& opt) {
+  return static_cast<TimeNs>(static_cast<int64_t>(opt.transfer_bytes) * 8 * 1'000'000'000LL /
+                             opt.link_rate_bps);
+}
+
 // The NetFPGA options a chaos run uses, shared by the legacy and sharded
 // execution paths so both subject packets to the same fault schedule.
-// `nominal` returns the transfer's line-rate duration, the anchor for fault
-// and flap windows — anchoring to the (generous) time budget would schedule
-// every fault after the last byte already landed.
-NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, AuditLog* log,
-                                   TimeNs* nominal) {
+NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, AuditLog* log) {
   NetFpgaOptions nopt;
+  nopt.link_rate_bps = opt.link_rate_bps;
+  nopt.base_delay = opt.base_delay;
   nopt.reorder_delay = opt.reorder_delay;
   nopt.seed = opt.seed * 2654435761ULL + static_cast<uint64_t>(opt.family);
-  nopt.sender.rx.int_coalesce = Us(125);
+  nopt.sender.rx.int_coalesce = opt.int_coalesce;
   nopt.sender.gro_factory = MakeStandardGroFactory();
-  nopt.receiver.rx.int_coalesce = Us(125);
+  nopt.receiver.rx.int_coalesce = opt.int_coalesce;
 
   JugglerConfig jcfg;
-  jcfg.inseq_timeout = Us(52);
-  jcfg.ofo_timeout = Us(300);
+  jcfg.inseq_timeout = opt.inseq_timeout;
+  jcfg.ofo_timeout = opt.ofo_timeout;
+  jcfg.max_flows = opt.max_flows;
+  jcfg.debug_flush_accounting_skew = opt.plant_flush_skew;
   if (use_juggler) {
     nopt.receiver.gro_factory =
         opt.audit ? MakeAuditedJugglerFactory(jcfg, log) : MakeJugglerFactory(jcfg);
@@ -79,15 +88,7 @@ NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, Au
     nopt.receiver.gro_factory = MakeStandardGroFactory();
   }
 
-  *nominal = static_cast<TimeNs>(
-      static_cast<int64_t>(opt.transfer_bytes) * 8 * 1'000'000'000LL / nopt.link_rate_bps);
-  if (opt.family != FaultFamily::kLinkFlap) {
-    // 12x the line-rate duration: the transfer is congestion-limited (more
-    // so for the baseline engine under reordering), so faults must stay
-    // active across the real, much longer, delivery timeline.
-    nopt.faults = MakeChaosTimeline(opt.family, opt.seed, /*horizon=*/*nominal * 12,
-                                    opt.num_windows);
-  }
+  nopt.faults = opt.use_explicit_faults ? opt.fault_override : DeriveChaosFaults(opt);
   return nopt;
 }
 
@@ -95,16 +96,12 @@ NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, Au
 // TCP's max RTO (200ms) so the sender always recovers. `loop` must be the
 // loop `fwd_link` runs on.
 std::unique_ptr<LinkFlapper> MaybeStartFlapper(const ChaosOptions& opt, EventLoop* loop,
-                                               Link* fwd_link, TimeNs nominal) {
-  if (opt.family != FaultFamily::kLinkFlap && opt.family != FaultFamily::kMixed) {
+                                               Link* fwd_link) {
+  std::vector<FlapWindow> windows =
+      opt.use_explicit_flaps ? opt.flap_override : DeriveChaosFlaps(opt);
+  if (windows.empty()) {
     return nullptr;
   }
-  Rng flap_rng(opt.seed * 40503 + 271);
-  const bool blackhole = opt.family == FaultFamily::kLinkFlap || flap_rng.NextBool(0.5);
-  auto windows = LinkFlapper::MakeRandomWindows(
-      &flap_rng, /*horizon=*/nominal,
-      /*count=*/opt.family == FaultFamily::kLinkFlap ? 3 : 1,
-      /*min_down=*/Ms(2), /*max_down=*/Ms(12), blackhole, fwd_link->rate_bps());
   auto flapper = std::make_unique<LinkFlapper>(loop, fwd_link, std::move(windows));
   flapper->Start();
   return flapper;
@@ -171,17 +168,17 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
   r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
 
   AuditLog log;
-  TimeNs nominal = 0;
-  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log, &nominal);
+  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log);
 
   // Declared before the testbed: the fabric's teardown releases packets
   // back into the engine's domain pools.
   ShardedEngine engine(opt.shards);
+  engine.set_mailbox_capacity(opt.shard_mailbox_capacity);
   CpuCostModel costs;
   ShardedNetFpgaTestbed t = BuildShardedNetFpga(&engine, &costs, nopt);
 
   std::unique_ptr<LinkFlapper> flapper =
-      MaybeStartFlapper(opt, &t.sender_domain->loop(), t.fwd_link, nominal);
+      MaybeStartFlapper(opt, &t.sender_domain->loop(), t.fwd_link);
 
   EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
 
@@ -207,6 +204,8 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
   r.shard_windows = es.windows;
   r.shard_crossings = es.crossings;
   r.shard_barrier_wait_ns = es.barrier_wait_ns;
+  r.shard_mailbox_hwm = es.mailbox_high_watermark;
+  r.shard_mailbox_overflows = es.mailbox_overflow_drops;
   for (size_t i = 0; i < engine.domain_count(); ++i) {
     r.shard_names.push_back(engine.domain(i)->name());
     r.shard_events.push_back(engine.domain(i)->executed_events());
@@ -214,7 +213,9 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
   return r;
 }
 
-ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
+}  // namespace
+
+ChaosEngineResult RunChaosEngine(const ChaosOptions& opt, bool use_juggler) {
   if (opt.shards >= 1) {
     return RunOneEngineSharded(opt, use_juggler);
   }
@@ -223,13 +224,12 @@ ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
 
   SimWorld world;
   AuditLog log;
-  TimeNs nominal = 0;
-  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log, &nominal);
+  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log);
 
   NetFpgaTestbed t = BuildNetFpga(&world, nopt);
 
   std::unique_ptr<LinkFlapper> flapper =
-      MaybeStartFlapper(opt, &world.loop, t.fwd_link, nominal);
+      MaybeStartFlapper(opt, &world.loop, t.fwd_link);
 
   EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
 
@@ -250,8 +250,6 @@ ChaosEngineResult RunOneEngine(const ChaosOptions& opt, bool use_juggler) {
   return r;
 }
 
-}  // namespace
-
 const char* FaultFamilyName(FaultFamily family) {
   switch (family) {
     case FaultFamily::kDropBurst:
@@ -268,6 +266,20 @@ const char* FaultFamilyName(FaultFamily family) {
       return "mixed";
   }
   return "?";
+}
+
+bool ParseFaultFamily(const char* name, FaultFamily* out) {
+  static constexpr FaultFamily kParseable[] = {
+      FaultFamily::kDropBurst, FaultFamily::kDuplicate, FaultFamily::kCorrupt,
+      FaultFamily::kDelaySpike, FaultFamily::kLinkFlap, FaultFamily::kMixed,
+  };
+  for (FaultFamily f : kParseable) {
+    if (std::strcmp(name, FaultFamilyName(f)) == 0) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
 }
 
 FaultTimeline MakeChaosTimeline(FaultFamily family, uint64_t seed, TimeNs horizon,
@@ -316,10 +328,35 @@ FaultTimeline MakeChaosTimeline(FaultFamily family, uint64_t seed, TimeNs horizo
   return timeline;
 }
 
+FaultTimeline DeriveChaosFaults(const ChaosOptions& options) {
+  if (options.family == FaultFamily::kLinkFlap) {
+    return FaultTimeline();  // flaps are scheduled on the Link, not per packet
+  }
+  // 12x the line-rate duration: the transfer is congestion-limited (more so
+  // for the baseline engine under reordering), so faults must stay active
+  // across the real, much longer, delivery timeline.
+  return MakeChaosTimeline(options.family, options.seed,
+                           /*horizon=*/NominalTransferTime(options) * 12, options.num_windows);
+}
+
+std::vector<FlapWindow> DeriveChaosFlaps(const ChaosOptions& options) {
+  if (options.family != FaultFamily::kLinkFlap && options.family != FaultFamily::kMixed) {
+    return {};
+  }
+  // Blackhole windows on the forward path, short relative to TCP's max RTO
+  // (200ms) so the sender always recovers.
+  Rng flap_rng(options.seed * 40503 + 271);
+  const bool blackhole = options.family == FaultFamily::kLinkFlap || flap_rng.NextBool(0.5);
+  return LinkFlapper::MakeRandomWindows(
+      &flap_rng, /*horizon=*/NominalTransferTime(options),
+      /*count=*/options.family == FaultFamily::kLinkFlap ? 3 : 1,
+      /*min_down=*/Ms(2), /*max_down=*/Ms(12), blackhole, options.link_rate_bps);
+}
+
 ChaosResult RunChaos(const ChaosOptions& options) {
   ChaosResult result;
-  result.juggler = RunOneEngine(options, /*use_juggler=*/true);
-  result.baseline = RunOneEngine(options, /*use_juggler=*/false);
+  result.juggler = RunChaosEngine(options, /*use_juggler=*/true);
+  result.baseline = RunChaosEngine(options, /*use_juggler=*/false);
   // The two engines must agree on the application byte stream. Totals plus
   // each run's own integrity check (contiguity, exactly-once) make the
   // comparison: identical totals of identical contiguous prefixes are the

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/fault/fault_stage.h"
+#include "src/fault/link_flapper.h"
 #include "src/util/time.h"
 
 namespace juggler {
@@ -39,6 +40,9 @@ enum class FaultFamily : int {
 constexpr int kNumFaultFamilies = 5;  // kMixed is a combination, not a family
 
 const char* FaultFamilyName(FaultFamily family);
+
+// Inverse of FaultFamilyName (accepts "mixed" too). False on unknown names.
+bool ParseFaultFamily(const char* name, FaultFamily* out);
 
 struct ChaosOptions {
   uint64_t seed = 1;
@@ -58,6 +62,29 @@ struct ChaosOptions {
   // but sharded digests may differ from shards=0 because mid-pipeline
   // stages observe clocks shifted by the wire's propagation delay.
   size_t shards = 0;
+  // Per-(src,dst) shard-mailbox capacity; 0 = ShardMailbox default fuse.
+  size_t shard_mailbox_capacity = 0;
+
+  // ---- Forensics knobs. Every default reproduces the historical run
+  // ---- bit-for-bit; the fuzzer samples these, and a repro bundle pins them.
+  int64_t link_rate_bps = 10 * kGbps;
+  TimeNs base_delay = Us(5);        // lane-0 fabric latency
+  TimeNs int_coalesce = Us(125);    // NIC interrupt coalescing, both hosts
+  TimeNs inseq_timeout = Us(52);    // Juggler Table-2 row 5
+  TimeNs ofo_timeout = Us(300);     // Juggler Table-2 row 6
+  size_t max_flows = 64;            // gro_table hard cap
+
+  // When set, the explicit timelines replace the family-derived random
+  // schedules entirely — the shrinker edits these without re-deriving
+  // anything from the seed, which is what makes a minimized bundle stable.
+  bool use_explicit_faults = false;
+  FaultTimeline fault_override;
+  bool use_explicit_flaps = false;
+  std::vector<FlapWindow> flap_override;
+
+  // Enables the planted conservation-law defect in the Juggler config (see
+  // JugglerConfig::debug_flush_accounting_skew). Forensics tests only.
+  bool plant_flush_skew = false;
 };
 
 struct ChaosEngineResult {
@@ -83,6 +110,8 @@ struct ChaosEngineResult {
   std::vector<std::string> shard_names;           // one per domain
   std::vector<uint64_t> shard_events;             // executed events per domain
   std::vector<uint64_t> shard_barrier_wait_ns;    // per worker
+  size_t shard_mailbox_hwm = 0;                   // deepest per-pair buffer
+  uint64_t shard_mailbox_overflows = 0;           // envelopes shed at the fuse
 };
 
 struct ChaosResult {
@@ -98,7 +127,20 @@ struct ChaosResult {
 FaultTimeline MakeChaosTimeline(FaultFamily family, uint64_t seed, TimeNs horizon,
                                 int num_windows);
 
+// The exact schedules a (family, seed) chaos run derives internally, in
+// explicit form — what RunChaos applies when the override flags are off.
+// The forensics shrinker materializes these once, then edits events freely
+// without disturbing any other seed-derived randomness.
+FaultTimeline DeriveChaosFaults(const ChaosOptions& options);
+std::vector<FlapWindow> DeriveChaosFlaps(const ChaosOptions& options);
+
 ChaosResult RunChaos(const ChaosOptions& options);
+
+// One engine's half of RunChaos: the bulk transfer under the configured
+// fault schedule, with invariant checking, returning the full per-run
+// result (digest included). The forensics executor calls this directly so
+// it can run the same spec at different shard counts and diff the digests.
+ChaosEngineResult RunChaosEngine(const ChaosOptions& options, bool use_juggler);
 
 }  // namespace juggler
 

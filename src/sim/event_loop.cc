@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -100,7 +101,18 @@ bool EventLoop::RunOne(TimeNs deadline) {
     TimerCallback cb = std::move(slots_[index].cb);
     ReleaseSlot(index);
     ++executed_;
-    cb();
+    // Zero cost unless a callback actually throws (table-based EH); the
+    // annotation turns an anonymous what() into a located failure.
+    try {
+      cb();
+    } catch (const EventLoopCallbackError&) {
+      throw;  // already annotated by a nested loop
+    } catch (const std::exception& e) {
+      throw EventLoopCallbackError(
+          "event-loop callback threw at t=" + std::to_string(now_) + "ns (event #" +
+          std::to_string(executed_) + ", " + std::to_string(live_timers_) +
+          " pending timers): " + e.what());
+    }
     return true;
   }
   return false;

@@ -32,12 +32,24 @@
 #define JUGGLER_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/inline_callback.h"
 #include "src/util/time.h"
 
 namespace juggler {
+
+// Thrown by Run()/RunUntil()/RunSteps() when a scheduled callback throws a
+// std::exception: the original what() annotated with where the loop stood —
+// simulated time, executed-event count, pending live timers — so failure
+// forensics gets a located failure instead of a bare message. The loop
+// itself stays consistent (the firing timer's slot was already released), so
+// a caller that catches may keep running.
+class EventLoopCallbackError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 // Packs (generation << 32 | slot index + 1); 0 is never a valid id.
 using TimerId = uint64_t;

@@ -45,13 +45,46 @@ struct ShardEnvelope {
 // SPSC buffer for one (source domain, destination domain) pair. The engine's
 // window barrier separates the producer's Push calls from the consumer's
 // Drain, so no internal locking is needed (see file comment).
+//
+// The buffer is bounded: a wedged or slow consumer must degrade visibly (a
+// rising high watermark, then counted overflow drops that TCP treats as
+// wire loss) instead of growing the producer's memory without bound. The
+// default capacity is far above what any healthy window crosses — at the
+// default it acts as a memory fuse, not a throttle — and overflow_drops /
+// high_watermark are surfaced through ShardedEngineStats so `chaos_runner
+// --shards` prints them.
 class ShardMailbox {
  public:
+  // ~24MB of envelopes per pair at the fuse point; a healthy NetFPGA window
+  // crosses a few hundred.
+  static constexpr size_t kDefaultCapacity = 1u << 20;
+
+  // `capacity` == 0 restores the default. Safe to call between windows; the
+  // engine applies it from the construction thread before Run().
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity == 0 ? kDefaultCapacity : capacity;
+  }
+  size_t capacity() const { return capacity_; }
+
   void Push(PacketPtr packet, TimeNs arrival, PacketSink* sink) {
+    if (buffer_.size() >= capacity_) {
+      // Dropping the PacketPtr recycles the packet like any other wire
+      // loss; the producer keeps running and the counter tells the story.
+      ++overflow_drops_;
+      return;
+    }
     buffer_.push_back(ShardEnvelope{std::move(packet), arrival, sink});
+    if (buffer_.size() > high_watermark_) {
+      high_watermark_ = buffer_.size();
+    }
   }
 
   bool empty() const { return buffer_.empty(); }
+
+  // Envelopes rejected because the buffer sat at capacity.
+  uint64_t overflow_drops() const { return overflow_drops_; }
+  // Largest batch ever buffered between one window's run and inject phases.
+  size_t high_watermark() const { return high_watermark_; }
 
   // The consumer takes the whole batch; capacity is kept so steady-state
   // windows re-use the same storage.
@@ -61,6 +94,9 @@ class ShardMailbox {
 
  private:
   std::vector<ShardEnvelope> buffer_;
+  size_t capacity_ = kDefaultCapacity;
+  size_t high_watermark_ = 0;
+  uint64_t overflow_drops_ = 0;
 };
 
 // Producer-side delivery target for a stage whose next element lives in

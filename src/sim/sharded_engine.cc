@@ -34,6 +34,7 @@ RemoteEndpoint* ShardedEngine::Connect(ShardDomain* src, ShardDomain* dst, TimeN
   JUG_CHECK(latency > 0);
   mailboxes_.push_back(std::make_unique<ShardMailbox>());
   ShardMailbox* mailbox = mailboxes_.back().get();
+  mailbox->set_capacity(mailbox_capacity_);
   dst->inbound_.push_back(mailbox);
   endpoints_.push_back(
       std::make_unique<RemoteEndpoint>(mailbox, src->loop_.now_ptr(), latency));
@@ -41,6 +42,13 @@ RemoteEndpoint* ShardedEngine::Connect(ShardDomain* src, ShardDomain* dst, TimeN
     lookahead_ = latency;
   }
   return endpoints_.back().get();
+}
+
+void ShardedEngine::set_mailbox_capacity(size_t capacity) {
+  mailbox_capacity_ = capacity;
+  for (auto& mailbox : mailboxes_) {
+    mailbox->set_capacity(capacity);
+  }
 }
 
 void ShardedEngine::PrepareRound() {
@@ -179,6 +187,14 @@ void ShardedEngine::Run(TimeNs deadline) {
   stats_.crossings = 0;
   for (auto& domain : domains_) {
     stats_.crossings += domain->injected_;
+  }
+  stats_.mailbox_high_watermark = 0;
+  stats_.mailbox_overflow_drops = 0;
+  for (auto& mailbox : mailboxes_) {
+    if (mailbox->high_watermark() > stats_.mailbox_high_watermark) {
+      stats_.mailbox_high_watermark = mailbox->high_watermark();
+    }
+    stats_.mailbox_overflow_drops += mailbox->overflow_drops();
   }
 }
 

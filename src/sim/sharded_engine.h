@@ -87,6 +87,12 @@ struct ShardedEngineStats {
   uint64_t crossings = 0;        // packets handed between domains
   size_t workers = 0;            // actual worker threads used by last Run()
   TimeNs lookahead = 0;          // 0 when no cross-domain links exist
+  // Mailbox pressure across all (src, dst) pairs: the deepest any one
+  // buffer ever got, and how many envelopes hit the capacity fuse. Nonzero
+  // overflow means the run shed cross-shard packets — visible degradation
+  // instead of unbounded growth behind a stuck consumer.
+  size_t mailbox_high_watermark = 0;
+  uint64_t mailbox_overflow_drops = 0;
   // Wall-clock nanoseconds each worker spent blocked on barriers (imbalance
   // indicator); index 0 is the calling thread.
   std::vector<uint64_t> barrier_wait_ns;
@@ -110,6 +116,10 @@ class ShardedEngine {
   // engine's lookahead is the minimum latency over all crossings.
   RemoteEndpoint* Connect(ShardDomain* src, ShardDomain* dst, TimeNs latency);
 
+  // Per-pair mailbox capacity, applied to existing and future crossings.
+  // 0 restores ShardMailbox::kDefaultCapacity. Call before Run().
+  void set_mailbox_capacity(size_t capacity);
+
   // Run every domain to `deadline` under the window protocol; afterwards
   // each domain's loop sits at now() == deadline, exactly like RunUntil.
   void Run(TimeNs deadline);
@@ -130,6 +140,7 @@ class ShardedEngine {
   static constexpr TimeNs kNoLookahead = INT64_MAX;
 
   const size_t requested_shards_;
+  size_t mailbox_capacity_ = 0;  // 0 = ShardMailbox default
   std::vector<std::unique_ptr<ShardDomain>> domains_;
   std::vector<std::unique_ptr<ShardMailbox>> mailboxes_;
   std::vector<std::unique_ptr<RemoteEndpoint>> endpoints_;

@@ -1,0 +1,191 @@
+#include "src/util/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+
+namespace juggler {
+
+namespace {
+
+// Hard caps so a pathological child cannot balloon the parent. The report is
+// structured JSON (small); stderr may carry a full sanitizer trace.
+constexpr size_t kMaxReportBytes = 4u << 20;
+constexpr size_t kMaxStderrBytes = 256u << 10;
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+// Drains whatever is readable from `fd` into *out (bounded). Returns false
+// once the descriptor reaches EOF or errors terminally.
+bool DrainInto(int fd, std::string* out, size_t cap) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof buf);
+    if (n > 0) {
+      if (out->size() < cap) {
+        out->append(buf, buf + static_cast<size_t>(std::min<ssize_t>(
+                               n, static_cast<ssize_t>(cap - out->size()))));
+      }
+      continue;
+    }
+    if (n == 0) {
+      return false;  // EOF
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+ChildResult RunChildWithWatchdog(const std::function<void(int report_fd)>& fn, int timeout_ms) {
+  ChildResult result;
+  int report_pipe[2] = {-1, -1};
+  int err_pipe[2] = {-1, -1};
+  if (pipe(report_pipe) != 0 || pipe(err_pipe) != 0) {
+    result.error = std::string("pipe: ") + std::strerror(errno);
+    if (report_pipe[0] >= 0) {
+      close(report_pipe[0]);
+      close(report_pipe[1]);
+    }
+    return result;
+  }
+
+  const int64_t start_ms = NowMs();
+  const pid_t pid = fork();
+  if (pid < 0) {
+    result.error = std::string("fork: ") + std::strerror(errno);
+    close(report_pipe[0]);
+    close(report_pipe[1]);
+    close(err_pipe[0]);
+    close(err_pipe[1]);
+    return result;
+  }
+
+  if (pid == 0) {
+    // Child. Route stderr into the capture pipe, close parent-side ends, run
+    // the payload, and _exit without flushing inherited stdio buffers (the
+    // parent owns those).
+    close(report_pipe[0]);
+    close(err_pipe[0]);
+    dup2(err_pipe[1], STDERR_FILENO);
+    close(err_pipe[1]);
+    try {
+      fn(report_pipe[1]);
+    } catch (...) {
+      _exit(97);
+    }
+    _exit(0);
+  }
+
+  // Parent.
+  result.forked = true;
+  close(report_pipe[1]);
+  close(err_pipe[1]);
+  SetNonBlocking(report_pipe[0]);
+  SetNonBlocking(err_pipe[0]);
+
+  const int64_t deadline_ms = start_ms + timeout_ms;
+  bool report_open = true;
+  bool err_open = true;
+  bool killed = false;
+  bool reaped = false;
+  int status = 0;
+
+  while (!reaped) {
+    // Reap without blocking so a fast child ends the loop promptly.
+    const pid_t w = waitpid(pid, &status, WNOHANG);
+    if (w == pid) {
+      reaped = true;
+      break;
+    }
+
+    const int64_t now = NowMs();
+    if (!killed && now >= deadline_ms) {
+      kill(pid, SIGKILL);
+      killed = true;
+      result.timed_out = true;
+    }
+
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    if (report_open) {
+      fds[nfds++] = {report_pipe[0], POLLIN, 0};
+    }
+    if (err_open) {
+      fds[nfds++] = {err_pipe[0], POLLIN, 0};
+    }
+    const int wait_ms =
+        killed ? 20 : static_cast<int>(std::min<int64_t>(100, std::max<int64_t>(1, deadline_ms - now)));
+    if (nfds > 0) {
+      poll(fds, nfds, wait_ms);
+    } else {
+      struct timespec ts = {0, wait_ms * 1'000'000L};
+      nanosleep(&ts, nullptr);
+    }
+    if (report_open) {
+      report_open = DrainInto(report_pipe[0], &result.report, kMaxReportBytes);
+    }
+    if (err_open) {
+      err_open = DrainInto(err_pipe[0], &result.stderr_text, kMaxStderrBytes);
+    }
+  }
+
+  // Final drain: the child may have written right before exiting.
+  if (report_open) {
+    DrainInto(report_pipe[0], &result.report, kMaxReportBytes);
+  }
+  if (err_open) {
+    DrainInto(err_pipe[0], &result.stderr_text, kMaxStderrBytes);
+  }
+  close(report_pipe[0]);
+  close(err_pipe[0]);
+
+  result.wall_ms = NowMs() - start_ms;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+}  // namespace juggler

@@ -381,6 +381,118 @@ TEST(LinkFlapperTest, RandomWindowsAreOrderedAndBounded) {
   }
 }
 
+// ------------------------------------- Timeline windowing edge cases ------
+
+TEST(FaultTimelineTest, OverlappingWindowsLastAddedWins) {
+  FaultProfile background;
+  background.drop_prob = 0.25;
+  FaultProfile episode;
+  episode.drop_prob = 1.0;
+  FaultTimeline t;
+  t.Add(0, Ms(10), background);
+  t.Add(Ms(2), Ms(3), episode);  // sharper overlay inside the broad window
+  EXPECT_DOUBLE_EQ(t.ActiveAt(Ms(1))->drop_prob, 0.25);
+  EXPECT_DOUBLE_EQ(t.ActiveAt(Ms(2))->drop_prob, 1.0);
+  EXPECT_DOUBLE_EQ(t.ActiveAt(Ms(3) - 1)->drop_prob, 1.0);
+  EXPECT_DOUBLE_EQ(t.ActiveAt(Ms(3))->drop_prob, 0.25);  // [start, end)
+  EXPECT_EQ(t.ActiveAt(Ms(10)), nullptr);
+}
+
+TEST(FaultTimelineTest, ZeroDurationWindowIsInert) {
+  FaultProfile p;
+  p.drop_prob = 1.0;
+  FaultTimeline t;
+  t.Add(Ms(5), Ms(5), p);
+  EXPECT_EQ(t.ActiveAt(Ms(5) - 1), nullptr);
+  EXPECT_EQ(t.ActiveAt(Ms(5)), nullptr);  // [start, start) covers nothing
+  EXPECT_EQ(t.ActiveAt(Ms(5) + 1), nullptr);
+
+  // Through a stage: a packet landing exactly on the empty window passes.
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  FaultStage stage(&loop, "f", t, 1, &sink);
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(Ms(5) + i - 5, [&stage, i] {
+      stage.Accept(MakeDataPacket(TestFlow(), static_cast<Seq>(i) * kMss, kMss));
+    });
+  }
+  loop.Run();
+  EXPECT_EQ(sink.packets.size(), 10u);
+  EXPECT_EQ(stage.drops(), 0u);
+}
+
+TEST(FaultStageTest, WindowsEntirelyInThePastNeverFire) {
+  // The whole schedule predates the traffic: every packet must pass. This is
+  // the shrinker's common intermediate state — workload shortened below the
+  // first fault window.
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  FaultProfile p;
+  p.drop_prob = 1.0;
+  p.burst_prob = 1.0;
+  FaultTimeline t;
+  t.Add(Us(10), Us(20), p);
+  t.Add(Us(30), Us(40), p);
+  FaultStage stage(&loop, "f", t, 7, &sink);
+  for (int i = 0; i < 20; ++i) {
+    loop.ScheduleAt(Ms(1) + i * Us(10), [&stage, i] {
+      stage.Accept(MakeDataPacket(TestFlow(), static_cast<Seq>(i) * kMss, kMss));
+    });
+  }
+  loop.Run();
+  EXPECT_EQ(sink.packets.size(), 20u);
+  EXPECT_EQ(stage.drops(), 0u);
+  EXPECT_EQ(stage.stats().bursts_started, 0u);
+}
+
+TEST(FaultStageTest, BurstContinuesPastWindowEnd) {
+  // A drop burst models one physical event; the timeline window closing
+  // mid-burst must not resurrect the tail of the burst.
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  FaultProfile p;
+  p.burst_prob = 1.0;
+  p.burst_len_min = 4;
+  p.burst_len_max = 4;
+  FaultTimeline t;
+  t.Add(0, Us(10), p);
+  FaultStage stage(&loop, "f", t, 1, &sink);
+  // One packet inside the window triggers the burst; five more arrive after
+  // the window closed. The burst swallows the next three of them, the final
+  // two pass.
+  for (int i = 0; i < 6; ++i) {
+    const TimeNs at = i == 0 ? Us(5) : Us(20) + i * Us(10);
+    loop.ScheduleAt(at, [&stage, i] {
+      stage.Accept(MakeDataPacket(TestFlow(), static_cast<Seq>(i) * kMss, kMss));
+    });
+  }
+  loop.Run();
+  EXPECT_EQ(stage.stats().bursts_started, 1u);
+  EXPECT_EQ(stage.stats().burst_drops, 4u);
+  EXPECT_EQ(stage.stats().drops, 4u);
+  EXPECT_EQ(sink.packets.size(), 2u);
+}
+
+TEST(LinkFlapperTest, SimulationEndingMidFlapLeavesLinkDown) {
+  // A run whose time limit lands inside a flap window observes the link
+  // down with the flap started but unfinished — the state forensics sees
+  // when a chaos run times out mid-outage. Resuming the loop restores it.
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  LinkConfig cfg;
+  cfg.propagation_delay = 0;
+  Link link(&loop, "l", cfg, &sink);
+  LinkFlapper flapper(&loop, &link, {FlapWindow{Us(10), Us(30), 0, 0}});
+  flapper.Start();
+  loop.RunUntil(Us(20));  // deadline inside [down_at, up_at)
+  EXPECT_TRUE(link.is_down());
+  EXPECT_EQ(flapper.flaps_started(), 1u);
+  EXPECT_EQ(flapper.flaps_finished(), 0u);
+  loop.Run();  // the pending SetUp still fires
+  EXPECT_FALSE(link.is_down());
+  EXPECT_EQ(flapper.flaps_finished(), 1u);
+}
+
 // -------------------------------------------- StreamIntegrityChecker ------
 
 Segment DataSegment(Seq seq, uint32_t len) {

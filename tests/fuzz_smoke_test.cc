@@ -1,0 +1,37 @@
+// Seeded fuzz smoke (ctest -L fuzz): a short supervisor run over randomized
+// scenarios with NO planted defects must produce zero findings — the stack
+// survives everything the sampler throws at it — and finish well inside the
+// 60s budget. A finding here is a real regression: the printed bundle JSON
+// is the repro.
+
+#include <gtest/gtest.h>
+
+#include "src/forensics/fuzz_supervisor.h"
+#include "src/forensics/repro_bundle.h"
+
+namespace juggler {
+namespace {
+
+TEST(FuzzSmokeTest, SeededSweepIsClean) {
+  FuzzOptions opt;
+  opt.seed = 20260805;
+  opt.num_specs = 12;
+  opt.timeout_ms = 45'000;
+  opt.shrink = false;  // nothing to shrink on a clean tree; keep the smoke fast
+  opt.verbose = false;
+
+  const FuzzReport report = RunFuzz(opt);
+  EXPECT_EQ(report.specs_run, 12);
+  for (const FuzzFinding& f : report.findings) {
+    ReproBundle bundle;
+    bundle.spec = f.spec;
+    bundle.signature = f.signature;
+    ADD_FAILURE() << "unexpected " << SignatureKindName(f.signature.kind) << ": "
+                  << f.signature.detail << "\nrepro bundle:\n"
+                  << bundle.ToJson().Dump(2);
+  }
+  EXPECT_EQ(report.failures, 0);
+}
+
+}  // namespace
+}  // namespace juggler

@@ -168,5 +168,57 @@ TEST_F(ShardedEngineTest, ChaosDigestInvariantUnderChecksumDrops) {
   ExpectShardCountInvariant(FaultFamily::kCorrupt);
 }
 
+// ------------------------------------------------ Bounded mailboxes ------
+
+TEST(ShardMailboxTest, CapacityBoundsBufferAndCountsOverflow) {
+  ShardMailbox box;
+  EXPECT_EQ(box.capacity(), ShardMailbox::kDefaultCapacity);
+  box.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    box.Push(AllocPacket(), /*arrival=*/i, /*sink=*/nullptr);
+  }
+  // Four buffered, six shed at the fuse; the rejected packets recycle to
+  // the pool like any other wire loss (no leak under ASan).
+  EXPECT_EQ(box.buffer().size(), 4u);
+  EXPECT_EQ(box.high_watermark(), 4u);
+  EXPECT_EQ(box.overflow_drops(), 6u);
+
+  // A drained mailbox accepts again; the high watermark is sticky.
+  box.Clear();
+  box.Push(AllocPacket(), 0, nullptr);
+  EXPECT_EQ(box.buffer().size(), 1u);
+  EXPECT_EQ(box.high_watermark(), 4u);
+  EXPECT_EQ(box.overflow_drops(), 6u);
+
+  box.set_capacity(0);  // 0 restores the default fuse
+  EXPECT_EQ(box.capacity(), ShardMailbox::kDefaultCapacity);
+  box.Clear();
+}
+
+TEST_F(ShardedEngineTest, TinyMailboxCapacityDegradesVisibly) {
+  // With the per-pair fuse forced down to one envelope, crossings overflow
+  // and are counted — the run degrades (TCP sees the shed envelopes as
+  // loss) instead of buffering without bound, and the stats surface it.
+  ChaosOptions opt;
+  opt.seed = 3;
+  opt.family = FaultFamily::kDropBurst;
+  opt.transfer_bytes = 200'000;
+  opt.time_limit = Ms(200);
+  opt.shards = 2;
+  opt.shard_mailbox_capacity = 1;
+  const ChaosEngineResult starved = RunChaosEngine(opt, /*use_juggler=*/true);
+  EXPECT_LE(starved.shard_mailbox_hwm, 1u);
+  EXPECT_GT(starved.shard_mailbox_overflows, 0u);
+
+  // Control: the default fuse never trips on a healthy run.
+  opt.shard_mailbox_capacity = 0;
+  opt.time_limit = Ms(800);
+  const ChaosEngineResult healthy = RunChaosEngine(opt, /*use_juggler=*/true);
+  EXPECT_TRUE(healthy.completed);
+  EXPECT_EQ(healthy.shard_mailbox_overflows, 0u);
+  EXPECT_GT(healthy.shard_mailbox_hwm, 0u);
+  EXPECT_LT(healthy.shard_mailbox_hwm, ShardMailbox::kDefaultCapacity);
+}
+
 }  // namespace
 }  // namespace juggler

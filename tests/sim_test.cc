@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/sim/event_loop.h"
@@ -237,6 +239,55 @@ TEST(EventLoopTest, CancelledSlotReuseInvalidatesStaleId) {
   loop.Cancel(live);
   loop.Cancel(stale);
   EXPECT_EQ(loop.pending_timer_ids(), 0u);
+}
+
+TEST(EventLoopTest, ThrowingCallbackIsAnnotatedAndLoopSurvives) {
+  // A callback that throws must surface as EventLoopCallbackError carrying
+  // the loop's position (simulated time, event count, pending timers) — and
+  // the loop must stay consistent so a catching caller can keep running.
+  EventLoop loop;
+  int ran = 0;
+  loop.Schedule(10, [&ran] { ++ran; });
+  loop.Schedule(20, [] { throw std::runtime_error("boom"); });
+  loop.Schedule(30, [&ran] { ++ran; });
+  loop.Schedule(40, [&ran] { ++ran; });
+  std::string what;
+  try {
+    loop.Run();
+    FAIL() << "expected EventLoopCallbackError";
+  } catch (const EventLoopCallbackError& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  EXPECT_NE(what.find("t=20ns"), std::string::npos) << what;
+  EXPECT_NE(what.find("event #2"), std::string::npos) << what;
+  EXPECT_NE(what.find("2 pending timers"), std::string::npos) << what;
+
+  // The throwing timer's slot was released; the remaining events still run.
+  EXPECT_EQ(loop.pending_timer_ids(), 2u);
+  loop.Run();
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(loop.now(), 40);
+}
+
+TEST(EventLoopTest, NestedLoopErrorIsNotReannotated) {
+  // A callback that itself runs an inner loop: the inner annotation (with
+  // the inner loop's position) must pass through the outer loop unchanged.
+  EventLoop outer;
+  outer.Schedule(100, [] {
+    EventLoop inner;
+    inner.Schedule(7, [] { throw std::runtime_error("deep"); });
+    inner.Run();
+  });
+  std::string what;
+  try {
+    outer.Run();
+    FAIL() << "expected EventLoopCallbackError";
+  } catch (const EventLoopCallbackError& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("t=7ns"), std::string::npos) << what;
+  EXPECT_EQ(what.find("t=100ns"), std::string::npos) << what;  // no double wrap
 }
 
 TEST(SweepRunnerTest, WorkerCountRespectsBounds) {
