@@ -13,12 +13,17 @@
 //   ./build/examples/chaos_runner --family corrupt --seeds 8
 //   ./build/examples/chaos_runner --base-seed 42 --bytes 3000000
 //   ./build/examples/chaos_runner --shards 4       # sharded parallel engine
+//   ./build/examples/chaos_runner --metrics        # per-run metrics tables
+//   ./build/examples/chaos_runner --trace out.json # Chrome/Perfetto trace
 //
 // Exit status: 0 when every run is clean, 1 on any violation or mismatch —
 // the failing (family, seed) pair printed is a complete repro recipe.
 // With --shards N the scenario runs on the sharded conservative-lookahead
 // engine; the digest is identical for every N >= 1, so a repro found at
-// --shards 8 replays at --shards 1.
+// --shards 8 replays at --shards 1. --trace collects the Juggler engine's
+// flight-recorder events across every run into one trace file (load it at
+// ui.perfetto.dev or chrome://tracing); events and metrics are byte-identical
+// for every --shards N >= 1.
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +49,8 @@ int main(int argc, char** argv) {
   uint64_t base_seed = 1;
   uint64_t bytes = 1'500'000;
   size_t shards = 0;
+  bool metrics = false;
+  std::string trace_path;
   std::vector<FaultFamily> families(std::begin(kAllFamilies), std::end(kAllFamilies));
 
   for (int i = 1; i < argc; ++i) {
@@ -54,7 +61,13 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--seeds") == 0) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = next("--trace");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--seeds") == 0) {
       seeds = std::atoi(next("--seeds"));
     } else if (std::strcmp(argv[i], "--base-seed") == 0) {
       base_seed = std::strtoull(next("--base-seed"), nullptr, 10);
@@ -76,7 +89,8 @@ int main(int argc, char** argv) {
       families.assign(1, f);
     } else {
       std::fprintf(stderr, "usage: %s [--seeds N] [--base-seed S] [--bytes B] "
-                           "[--family NAME] [--shards N]\n", argv[0]);
+                           "[--family NAME] [--shards N] [--metrics] [--trace FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -87,6 +101,8 @@ int main(int argc, char** argv) {
               "jug_ns", "base_ns", "pkts", "faults", "flaps", "digest");
 
   int failures = 0;
+  std::vector<TraceEvent> all_events;
+  uint64_t trace_dropped = 0;
   for (FaultFamily family : families) {
     for (int s = 0; s < seeds; ++s) {
       ChaosOptions opt;
@@ -94,6 +110,8 @@ int main(int argc, char** argv) {
       opt.family = family;
       opt.transfer_bytes = bytes;
       opt.shards = shards;
+      opt.obs.metrics = metrics;
+      opt.obs.trace = !trace_path.empty();
       const ChaosResult r = RunChaos(opt);
       const uint64_t fault_events = r.juggler.faults.drops + r.juggler.faults.duplicates +
                                     r.juggler.faults.corruptions +
@@ -122,6 +140,16 @@ int main(int argc, char** argv) {
         std::printf("; mailbox hwm=%zu overflow=%llu\n", r.juggler.shard_mailbox_hwm,
                     static_cast<unsigned long long>(r.juggler.shard_mailbox_overflows));
       }
+      if (metrics) {
+        std::printf("  metrics (%s, seed %llu, juggler engine):\n", FaultFamilyName(family),
+                    static_cast<unsigned long long>(opt.seed));
+        std::printf("%s", r.juggler.obs.metrics.ToTable().c_str());
+      }
+      if (!trace_path.empty()) {
+        all_events.insert(all_events.end(), r.juggler.obs.events.begin(),
+                          r.juggler.obs.events.end());
+        trace_dropped += r.juggler.obs.trace_dropped;
+      }
       if (!r.ok) {
         ++failures;
         for (const auto& res : {r.juggler, r.baseline}) {
@@ -141,6 +169,17 @@ int main(int argc, char** argv) {
         }
       }
     }
+  }
+
+  if (!trace_path.empty()) {
+    const Json trace = TraceToJson(all_events, trace_dropped, ChaosTraceNamer());
+    std::string error;
+    if (!WriteTraceFile(trace_path, trace, &error)) {
+      std::fprintf(stderr, "trace write failed: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("\ntrace: %zu events (%llu dropped) -> %s\n", all_events.size(),
+                static_cast<unsigned long long>(trace_dropped), trace_path.c_str());
   }
 
   std::printf("\n%s: %d failure(s)\n", failures == 0 ? "PASS" : "FAIL", failures);

@@ -9,6 +9,11 @@
 //   ./build/examples/fuzz_runner --budget-ms 30000        # stop after 30s
 //   ./build/examples/fuzz_runner --timeout-ms 10000       # per-child watchdog
 //   ./build/examples/fuzz_runner --no-shrink
+//   ./build/examples/fuzz_runner --no-obs                 # skip trace attachments
+//
+// Bundles for cooperative failures (invariant violation, digest divergence,
+// exception) carry a flight-recorder attachment — metrics snapshot plus a
+// Chrome/Perfetto trace of the shrunk spec — unless --no-obs is given.
 //
 // Exit status: 0 when every spec ran clean, 1 when any finding was made.
 // Replay a bundle with: ./build/examples/replay_runner --bundle <file>.json
@@ -46,12 +51,14 @@ int main(int argc, char** argv) {
       opt.out_dir = next("--out");
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       opt.shrink = false;
+    } else if (std::strcmp(argv[i], "--no-obs") == 0) {
+      opt.attach_obs = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       opt.verbose = false;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--specs N] [--seed S] [--timeout-ms T] [--budget-ms B]\n"
-                   "          [--out DIR] [--no-shrink] [--quiet]\n",
+                   "          [--out DIR] [--no-shrink] [--no-obs] [--quiet]\n",
                    argv[0]);
       return 2;
     }

@@ -10,8 +10,12 @@
 // Usage:
 //   ./build/examples/replay_runner --bundle repro/bundle-<fp>.json
 //   ./build/examples/replay_runner --bundle x.json --repeat 5 --timeout-ms 60000
+//   ./build/examples/replay_runner --bundle x.json --trace out.json
 //
 // Exit status: 0 when every replay reproduced the recorded signature.
+// --trace writes the bundle's attached flight-recorder trace (Chrome/Perfetto
+// JSON) to FILE; when the bundle carries none, the spec is re-run in-process
+// with tracing on — cooperative failure kinds only.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,11 +23,13 @@
 #include <string>
 
 #include "src/forensics/repro_bundle.h"
+#include "src/obs/flight_recorder.h"
 
 using namespace juggler;
 
 int main(int argc, char** argv) {
   std::string bundle_path;
+  std::string trace_path;
   int repeat = 2;
   int timeout_ms = 30'000;
 
@@ -41,8 +47,14 @@ int main(int argc, char** argv) {
       repeat = std::atoi(next("--repeat"));
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       timeout_ms = std::atoi(next("--timeout-ms"));
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = next("--trace");
     } else {
-      std::fprintf(stderr, "usage: %s --bundle FILE [--repeat N] [--timeout-ms T]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s --bundle FILE [--repeat N] [--timeout-ms T] [--trace FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -81,6 +93,43 @@ int main(int argc, char** argv) {
     if (r.reproduced) {
       ++reproduced;
     }
+  }
+
+  if (!trace_path.empty()) {
+    Json trace;
+    const Json* attached =
+        bundle.obs.is_object() ? bundle.obs.Find("trace") : nullptr;
+    if (attached != nullptr) {
+      trace = *attached;
+      std::printf("\ntrace: using the bundle's attached flight-recorder snapshot\n");
+    } else {
+      const SignatureKind kind = bundle.signature.kind;
+      const bool cooperative = kind == SignatureKind::kInvariantViolation ||
+                               kind == SignatureKind::kDigestDivergence ||
+                               kind == SignatureKind::kException;
+      if (!cooperative || bundle.spec.plant_wedge) {
+        std::fprintf(stderr,
+                     "trace: bundle has no attachment and its failure kind is not safe"
+                     " to re-run in-process\n");
+        return 2;
+      }
+      std::printf("\ntrace: no attachment in bundle; re-running the spec with tracing on\n");
+      const Json obs = CollectSpecObs(bundle.spec);
+      const Json* fresh = obs.Find("trace");
+      if (fresh == nullptr) {
+        std::string why = "unknown";
+        obs.GetString("error", &why);
+        std::fprintf(stderr, "trace: in-process collection failed: %s\n", why.c_str());
+        return 2;
+      }
+      trace = *fresh;
+    }
+    std::string werr;
+    if (!WriteTraceFile(trace_path, trace, &werr)) {
+      std::fprintf(stderr, "trace write failed: %s\n", werr.c_str());
+      return 2;
+    }
+    std::printf("trace -> %s\n", trace_path.c_str());
   }
 
   std::printf("\n%d/%d replays reproduced the recorded signature: %s\n", reproduced, repeat,

@@ -71,8 +71,17 @@ void Juggler::SetPhase(FlowEntry* entry, FlowPhase phase) {
     from->Remove(entry);
     to->PushBack(entry);
   }
+  if (entry->phase != phase) {
+    ++jstats_.phase_transitions[static_cast<int>(entry->phase)][static_cast<int>(phase)];
+    if (ctx_.recorder != nullptr) {
+      ctx_.recorder->Record(Now(), TraceKind::kPhase, static_cast<uint64_t>(entry->phase),
+                            static_cast<uint64_t>(phase), entry->key.Hash());
+    }
+  }
   entry->phase = phase;
   jstats_.max_active_list_len = std::max(jstats_.max_active_list_len, active_list_.size());
+  jstats_.max_inactive_list_len = std::max(jstats_.max_inactive_list_len, inactive_list_.size());
+  jstats_.max_loss_list_len = std::max(jstats_.max_loss_list_len, loss_list_.size());
 }
 
 FlowEntry* Juggler::CreateEntry(const FiveTuple& tuple, TimeNs* cost) {
@@ -88,6 +97,11 @@ FlowEntry* Juggler::CreateEntry(const FiveTuple& tuple, TimeNs* cost) {
   table_.emplace(tuple, std::move(owned));
   active_list_.PushBack(entry);
   ++jstats_.flows_created;
+  ++jstats_.phase_transitions[kFlowPhaseNone][static_cast<int>(FlowPhase::kBuildUp)];
+  if (ctx_.recorder != nullptr) {
+    ctx_.recorder->Record(Now(), TraceKind::kPhase, kFlowPhaseNone,
+                          static_cast<uint64_t>(FlowPhase::kBuildUp), entry->key.Hash());
+  }
   jstats_.max_active_list_len = std::max(jstats_.max_active_list_len, active_list_.size());
   return entry;
 }
@@ -109,6 +123,14 @@ TimeNs Juggler::EvictOne() {
 }
 
 TimeNs Juggler::EvictEntry(FlowEntry* entry) {
+  if (ctx_.recorder != nullptr) {
+    uint64_t held = 0;
+    for (const auto& run : entry->ooo_queue) {
+      held += run.payload_len();
+    }
+    ctx_.recorder->Record(Now(), TraceKind::kEviction, static_cast<uint64_t>(entry->phase),
+                          held, entry->key.Hash());
+  }
   const TimeNs cost = FlushAll(entry, FlushReason::kEviction);
   ++stats_.evictions;
   ListFor(entry->phase)->Remove(entry);
@@ -123,7 +145,7 @@ TimeNs Juggler::FlushAll(FlowEntry* entry, FlushReason reason) {
   TimeNs cost = 0;
   for (auto& run : entry->ooo_queue) {
     entry->seq_next = run.end_seq();
-    jstats_.buffered_bytes_out += run.payload_len();
+    NoteFlushed(entry, reason, run.payload_len());
     Deliver(run.Take(), reason);
     cost += costs_->gro_flush_per_segment;
   }
@@ -148,7 +170,7 @@ TimeNs Juggler::FlushPrefix(FlowEntry* entry, bool ready_only, FlushReason reaso
     entry->seq_next = run.end_seq();
     const FlushReason r =
         ready_only ? (run.needs_flush() ? FlushReason::kFlags : FlushReason::kSizeLimit) : reason;
-    jstats_.buffered_bytes_out += run.payload_len();
+    NoteFlushed(entry, r, run.payload_len());
     Deliver(run.Take(), r);
     queue.erase(queue.begin());
     cost += costs_->gro_flush_per_segment;
@@ -200,7 +222,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
     switch (queue.front().TryMerge(p, max_payload)) {
       case SegmentBuilder::MergeResult::kMerged:
       case SegmentBuilder::MergeResult::kMergedFinal:
-        jstats_.buffered_bytes_in += p.payload_len;
+        NoteEnqueued(entry, p.payload_len);
         CoalesceForward(&queue, 0, max_payload);
         return cost;
       default:
@@ -213,7 +235,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
     }
     queue.emplace_back();
     queue.back().Start(p);
-    jstats_.buffered_bytes_in += p.payload_len;
+    NoteEnqueued(entry, p.payload_len);
     return cost;
   }
 
@@ -239,7 +261,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
       switch (prev.TryMerge(p, max_payload)) {
         case SegmentBuilder::MergeResult::kMerged:
         case SegmentBuilder::MergeResult::kMergedFinal:
-          jstats_.buffered_bytes_in += p.payload_len;
+          NoteEnqueued(entry, p.payload_len);
           CoalesceForward(&queue, idx - 1, max_payload);
           return cost;
         default:
@@ -257,7 +279,7 @@ TimeNs Juggler::InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate)
   SegmentBuilder fresh;
   fresh.Start(p);
   queue.insert(queue.begin() + static_cast<long>(idx), std::move(fresh));
-  jstats_.buffered_bytes_in += p.payload_len;
+  NoteEnqueued(entry, p.payload_len);
   CoalesceForward(&queue, idx, max_payload);
   return cost;
 }
@@ -302,7 +324,7 @@ TimeNs Juggler::Receive(PacketPtr packet) {
     const auto merged = queue.front().TryMerge(p, config_.max_segment_payload);
     if (merged == SegmentBuilder::MergeResult::kMerged ||
         merged == SegmentBuilder::MergeResult::kMergedFinal) {
-      jstats_.buffered_bytes_in += p.payload_len;
+      NoteEnqueued(entry, p.payload_len);
       CoalesceForward(&queue, 0, config_.max_segment_payload);
       if (RunReady(queue.front(), config_.max_segment_payload)) {
         cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
@@ -348,10 +370,7 @@ TimeNs Juggler::Receive(PacketPtr packet) {
       // later holes need not have filled.
       ++jstats_.loss_recovery_exits;
       entry->flush_timestamp = Now();
-      entry->phase = FlowPhase::kActiveMerge;  // leave loss list first
-      loss_list_.Remove(entry);
-      active_list_.PushBack(entry);
-      jstats_.max_active_list_len = std::max(jstats_.max_active_list_len, active_list_.size());
+      SetPhase(entry, FlowPhase::kActiveMerge);  // leave loss list first
       UpdatePhaseAfterFlush(entry);
     }
     return cost;
@@ -497,6 +516,55 @@ TimeNs Juggler::OnTimer() {
   const TimeNs cost = CheckTimeouts();
   RearmTimer();
   return cost;
+}
+
+namespace {
+
+const char* PhaseIndexName(int phase) {
+  return phase == kFlowPhaseNone ? "none" : FlowPhaseName(static_cast<FlowPhase>(phase));
+}
+
+}  // namespace
+
+void PublishJugglerStats(const JugglerStats& stats, const std::string& label,
+                         MetricsRegistry* registry) {
+  for (int from = 0; from <= kFlowPhaseCount; ++from) {
+    for (int to = 0; to < kFlowPhaseCount; ++to) {
+      if (stats.phase_transitions[from][to] == 0) continue;
+      registry->AddCounter(
+          "juggler.phase_transition",
+          label + "/" + std::string(PhaseIndexName(from)) + "->" + PhaseIndexName(to),
+          stats.phase_transitions[from][to]);
+    }
+  }
+  for (int phase = 0; phase < kFlowPhaseCount; ++phase) {
+    const char* name = PhaseIndexName(phase);
+    if (stats.enqueued_bytes_by_phase[phase] != 0) {
+      registry->AddCounter("juggler.enqueued_bytes", label + "/" + name,
+                           stats.enqueued_bytes_by_phase[phase]);
+    }
+    if (stats.flushed_bytes_by_phase[phase] != 0) {
+      registry->AddCounter("juggler.flushed_bytes", label + "/" + name,
+                           stats.flushed_bytes_by_phase[phase]);
+    }
+  }
+  registry->AddCounter("juggler.flows_created", label, stats.flows_created);
+  registry->AddCounter("juggler.evictions_inactive", label, stats.evictions_inactive);
+  registry->AddCounter("juggler.evictions_active", label, stats.evictions_active);
+  registry->AddCounter("juggler.evictions_loss", label, stats.evictions_loss);
+  registry->AddCounter("juggler.evicted_bytes", label, stats.evicted_bytes);
+  registry->AddCounter("juggler.inseq_timeout_flushes", label, stats.inseq_timeout_flushes);
+  registry->AddCounter("juggler.ofo_timeout_events", label, stats.ofo_timeout_events);
+  registry->AddCounter("juggler.seq_next_backward_moves", label,
+                       stats.seq_next_backward_moves);
+  registry->AddCounter("juggler.loss_recovery_entries", label, stats.loss_recovery_entries);
+  registry->AddCounter("juggler.loss_recovery_exits", label, stats.loss_recovery_exits);
+  registry->AddCounter("juggler.duplicate_packets", label, stats.duplicate_packets);
+  registry->AddCounter("juggler.buffered_bytes_in", label, stats.buffered_bytes_in);
+  registry->AddCounter("juggler.buffered_bytes_out", label, stats.buffered_bytes_out);
+  registry->MaxGauge("juggler.max_active_list_len", label, stats.max_active_list_len);
+  registry->MaxGauge("juggler.max_inactive_list_len", label, stats.max_inactive_list_len);
+  registry->MaxGauge("juggler.max_loss_list_len", label, stats.max_loss_list_len);
 }
 
 }  // namespace juggler

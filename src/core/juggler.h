@@ -74,6 +74,11 @@ enum class FlowPhase : uint8_t {
 
 const char* FlowPhaseName(FlowPhase phase);
 
+// Pseudo-phase index for "no phase yet" in transition accounting and trace
+// events: a flow's creation edge is recorded as none -> build_up.
+inline constexpr int kFlowPhaseNone = 4;
+inline constexpr int kFlowPhaseCount = 4;
+
 // One gro_table entry (struct flow_entry in §4.1).
 struct FlowEntry {
   FiveTuple key;
@@ -103,10 +108,20 @@ struct JugglerStats {
   uint64_t loss_recovery_exits = 0;
   uint64_t duplicate_packets = 0;  // overlapped an existing buffered run
   size_t max_active_list_len = 0;
+  size_t max_inactive_list_len = 0;
+  size_t max_loss_list_len = 0;
   // Conservation-law counters for the invariant auditor: every payload byte
   // entering an OOO queue must leave it through a Deliver (in == out + held).
   uint64_t buffered_bytes_in = 0;
   uint64_t buffered_bytes_out = 0;
+  // §4 phase machine accounting. phase_transitions[from][to] counts edges
+  // actually taken (from = kFlowPhaseNone for creation); the by-phase byte
+  // counters split the conservation law per phase: for each phase,
+  // enqueued = flushed + evicted + held.
+  uint64_t phase_transitions[kFlowPhaseCount + 1][kFlowPhaseCount] = {};
+  uint64_t enqueued_bytes_by_phase[kFlowPhaseCount] = {};
+  uint64_t flushed_bytes_by_phase[kFlowPhaseCount] = {};
+  uint64_t evicted_bytes = 0;
 };
 
 class Juggler : public GroEngine {
@@ -176,6 +191,22 @@ class Juggler : public GroEngine {
   // Moves `entry` to the list matching `phase` and updates entry->phase.
   void SetPhase(FlowEntry* entry, FlowPhase phase);
 
+  // Conservation accounting: every buffered-byte movement funnels through
+  // these so the per-phase split (enqueued = flushed + evicted + held)
+  // stays consistent with the engine-wide in/out counters.
+  void NoteEnqueued(FlowEntry* entry, uint32_t bytes) {
+    jstats_.buffered_bytes_in += bytes;
+    jstats_.enqueued_bytes_by_phase[static_cast<int>(entry->phase)] += bytes;
+  }
+  void NoteFlushed(FlowEntry* entry, FlushReason reason, uint32_t bytes) {
+    jstats_.buffered_bytes_out += bytes;
+    if (reason == FlushReason::kEviction) {
+      jstats_.evicted_bytes += bytes;
+    } else {
+      jstats_.flushed_bytes_by_phase[static_cast<int>(entry->phase)] += bytes;
+    }
+  }
+
   // Creates an entry for `tuple`, evicting if the table is full. Adds the
   // eviction cost to *cost. Never fails: the table has at least one entry to
   // evict when full (max_flows >= 1).
@@ -231,6 +262,12 @@ class Juggler : public GroEngine {
   FlowList loss_list_;
   TimeNs armed_deadline_ = kNoTimer;
 };
+
+// Snapshot a JugglerStats into `registry` under `label`: phase-transition
+// counters labelled "from->to", eviction/list-occupancy gauges and the
+// conservation byte counters.
+void PublishJugglerStats(const JugglerStats& stats, const std::string& label,
+                         MetricsRegistry* registry);
 
 }  // namespace juggler
 

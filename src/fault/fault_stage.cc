@@ -31,6 +31,7 @@ void FaultStage::Accept(PacketPtr packet) {
     --burst_remaining_;
     ++stats_.drops;
     ++stats_.burst_drops;
+    Trace(kFaultCodeBurstDrop, *packet);
     return;
   }
 
@@ -51,10 +52,12 @@ void FaultStage::Accept(PacketPtr packet) {
         static_cast<int>(rng_.NextInRange(p->burst_len_min, p->burst_len_max)) - 1;
     ++stats_.drops;
     ++stats_.burst_drops;
+    Trace(kFaultCodeBurstDrop, *packet);
     return;
   }
   if (p->drop_prob > 0 && rng_.NextBool(p->drop_prob)) {
     ++stats_.drops;
+    Trace(kFaultCodeDrop, *packet);
     return;
   }
   if (p->corrupt_prob > 0 && rng_.NextBool(p->corrupt_prob)) {
@@ -62,6 +65,7 @@ void FaultStage::Accept(PacketPtr packet) {
     // downstream elements) but fails NIC checksum validation on arrival.
     packet->corrupted = true;
     ++stats_.corruptions;
+    Trace(kFaultCodeCorrupt, *packet);
   }
   if (!packet->corrupted && packet->payload_len > 1 && p->truncate_prob > 0 &&
       rng_.NextBool(p->truncate_prob)) {
@@ -71,12 +75,14 @@ void FaultStage::Accept(PacketPtr packet) {
         1 + static_cast<uint32_t>(rng_.NextBounded(packet->payload_len - 1));
     packet->corrupted = true;
     ++stats_.truncations;
+    Trace(kFaultCodeTruncate, *packet);
   }
   if (p->dup_prob > 0 && rng_.NextBool(p->dup_prob)) {
     // Identical copy, back to back — same id, same metadata, as a replayed
     // frame would be. Delivered after the original.
     PacketPtr dup = ClonePacket(*packet);
     ++stats_.duplicates;
+    Trace(kFaultCodeDuplicate, *packet);
     Forward(std::move(packet));
     Forward(std::move(dup));
     return;
@@ -84,6 +90,7 @@ void FaultStage::Accept(PacketPtr packet) {
   if (p->delay_prob > 0 && rng_.NextBool(p->delay_prob)) {
     const TimeNs spike = rng_.NextInRange(p->delay_min, p->delay_max);
     ++stats_.delayed;
+    Trace(kFaultCodeDelay, *packet);
     if (remote_ != nullptr) {
       // The destination domain replays the spike as envelope extra.
       remote_->Deliver(std::move(packet), spike);
@@ -104,6 +111,19 @@ void FaultStage::Forward(PacketPtr packet) {
   } else {
     sink_->Accept(std::move(packet));
   }
+}
+
+void PublishFaultStats(const FaultStats& stats, const std::string& label,
+                       MetricsRegistry* registry) {
+  registry->AddCounter("fault.packets_in", label, stats.packets_in);
+  registry->AddCounter("fault.drops", label, stats.drops);
+  registry->AddCounter("fault.burst_drops", label, stats.burst_drops);
+  registry->AddCounter("fault.bursts_started", label, stats.bursts_started);
+  registry->AddCounter("fault.duplicates", label, stats.duplicates);
+  registry->AddCounter("fault.corruptions", label, stats.corruptions);
+  registry->AddCounter("fault.truncations", label, stats.truncations);
+  registry->AddCounter("fault.delayed", label, stats.delayed);
+  registry->AddCounter("fault.passed", label, stats.passed);
 }
 
 }  // namespace juggler

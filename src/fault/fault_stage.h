@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "src/net/packet_sink.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
@@ -144,6 +146,10 @@ class FaultStage : public PacketSink {
   // so the same seed produces the same fault pattern either way.
   void set_remote(RemoteEndpoint* remote) { remote_ = remote; }
 
+  // Optional flight recorder: every applied fault emits a TraceKind::kFault
+  // event. Null (the default) keeps tracing off the fault path.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
   const FaultStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
@@ -154,15 +160,28 @@ class FaultStage : public PacketSink {
   // Immediate delivery to the local sink or the remote endpoint.
   void Forward(PacketPtr packet);
 
+  // Trace hook: one line per applied fault, gated on recorder_.
+  void Trace(int code, const Packet& p) {
+    if (recorder_ != nullptr) {
+      recorder_->Record(loop_ != nullptr ? loop_->now() : 0, TraceKind::kFault,
+                        static_cast<uint64_t>(code), p.seq, p.payload_len);
+    }
+  }
+
   EventLoop* loop_;
   std::string name_;
   FaultTimeline timeline_;
   Rng rng_;
   PacketSink* sink_;
   RemoteEndpoint* remote_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
   int burst_remaining_ = 0;
   FaultStats stats_;
 };
+
+// Snapshot a FaultStats into `registry` under `label` (the stage's name).
+void PublishFaultStats(const FaultStats& stats, const std::string& label,
+                       MetricsRegistry* registry);
 
 }  // namespace juggler
 

@@ -82,6 +82,13 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       ReproBundle bundle;
       bundle.spec = finding.shrunk;
       bundle.signature = finding.signature;
+      const SignatureKind kind = finding.signature.kind;
+      const bool cooperative = kind == SignatureKind::kInvariantViolation ||
+                               kind == SignatureKind::kDigestDivergence ||
+                               kind == SignatureKind::kException;
+      if (options.attach_obs && cooperative && !finding.shrunk.plant_wedge) {
+        bundle.obs = CollectSpecObs(finding.shrunk);
+      }
       bundle.notes = "fuzz seed " + std::to_string(options.seed) + ", spec #" +
                      std::to_string(i) + ", shrink " + std::to_string(finding.shrink_accepted) +
                      "/" + std::to_string(finding.shrink_runs) + " reductions";

@@ -36,6 +36,11 @@ struct FuzzOptions {
   // sampled spec, so the forensics pipeline can be validated end to end
   // against a bug with a known identity.
   bool plant_flush_skew = false;
+  // Attach a flight-recorder snapshot (metrics + trace) to each written
+  // bundle by re-running the shrunk spec in-process with observability on.
+  // Only done for cooperative failure kinds (invariant violation, digest
+  // divergence, exception) — a crash/timeout would take the fuzzer with it.
+  bool attach_obs = true;
 };
 
 struct FuzzFinding {

@@ -11,6 +11,9 @@ Json ReproBundle::ToJson() const {
   j.Set("signature", signature.ToJson());
   j.Set("spec", spec.ToJson());
   j.Set("notes", Json::Str(notes));
+  if (!obs.is_null()) {
+    j.Set("obs", obs);
+  }
   return j;
 }
 
@@ -43,6 +46,9 @@ bool ReproBundle::FromJson(const Json& json, ReproBundle* out, std::string* erro
       *error = "bundle: missing spec";
     }
     return false;
+  }
+  if (const Json* obs = json.Find("obs")) {
+    b.obs = *obs;  // optional: pre-observability bundles simply lack it
   }
   *out = std::move(b);
   return true;

@@ -24,6 +24,10 @@ struct ReproBundle {
   ScenarioSpec spec;
   FailureSignature signature;
   std::string notes;  // provenance: fuzz seed, spec index, shrink stats
+  // Optional flight-recorder attachment ({"metrics":...,"trace":...} from
+  // CollectSpecObs). Null when the failure mode made an in-process re-run
+  // unsafe (crash, sanitizer abort, wedge) or collection was disabled.
+  Json obs;
 
   Json ToJson() const;
   static bool FromJson(const Json& json, ReproBundle* out, std::string* error);

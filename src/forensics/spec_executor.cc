@@ -47,6 +47,8 @@ Json SpecRunReport::ToJson() const {
   j.Set("digest_shard2", Json::Uint(digest_shard2));
   j.Set("diverged", Json::Bool(diverged));
   j.Set("exception", Json::Str(exception));
+  j.Set("mailbox_hwm", Json::Uint(mailbox_hwm));
+  j.Set("mailbox_overflows", Json::Uint(mailbox_overflows));
   return j;
 }
 
@@ -62,6 +64,13 @@ bool SpecRunReport::FromJson(const Json& json, SpecRunReport* out, std::string* 
       !json.GetUint("digest_shard1", &r.digest_shard1) ||
       !json.GetUint("digest_shard2", &r.digest_shard2) || !json.GetBool("diverged", &r.diverged) ||
       !json.GetString("exception", &r.exception)) {
+    *error = "report: field with wrong type";
+    return false;
+  }
+  // Optional (absent in pre-observability reports): GetUint leaves the
+  // zero default in place when the key is missing.
+  if (!json.GetUint("mailbox_hwm", &r.mailbox_hwm) ||
+      !json.GetUint("mailbox_overflows", &r.mailbox_overflows)) {
     *error = "report: field with wrong type";
     return false;
   }
@@ -88,7 +97,11 @@ SpecRunReport RunSpecInProcess(const ScenarioSpec& spec) {
       ++spin;
     }
   }
-  const ChaosOptions opt = spec.ToChaosOptions();
+  ChaosOptions opt = spec.ToChaosOptions();
+  // Metrics snapshotting happens after the run finishes, so turning it on
+  // here cannot perturb the datapath or the digest; it is how the mailbox
+  // pressure counters reach the report (and thence the bundle).
+  opt.obs.metrics = true;
   try {
     const ChaosResult r = RunChaos(opt);
     rep.ok = r.ok;
@@ -101,6 +114,9 @@ SpecRunReport RunSpecInProcess(const ScenarioSpec& spec) {
       }
     }
     rep.digest = r.juggler.digest;
+    rep.mailbox_hwm = r.juggler.obs.metrics.GaugeValue("sim.mailbox_high_watermark", "");
+    rep.mailbox_overflows =
+        r.juggler.obs.metrics.CounterValue("sim.mailbox_overflow_drops", "");
     if (spec.check_shard_divergence) {
       ChaosOptions o1 = opt;
       o1.shards = 1;
@@ -114,6 +130,21 @@ SpecRunReport RunSpecInProcess(const ScenarioSpec& spec) {
     rep.exception = e.what();
   }
   return rep;
+}
+
+Json CollectSpecObs(const ScenarioSpec& spec) {
+  Json obs = Json::Object();
+  ChaosOptions opt = spec.ToChaosOptions();
+  opt.obs.metrics = true;
+  opt.obs.trace = true;
+  try {
+    const ChaosEngineResult r = RunChaosEngine(opt, /*use_juggler=*/true);
+    obs.Set("metrics", r.obs.MetricsJson());
+    obs.Set("trace", r.obs.TraceJson(ChaosTraceNamer()));
+  } catch (const std::exception& e) {
+    obs.Set("error", Json::Str(e.what()));
+  }
+  return obs;
 }
 
 SpecOutcome ExecuteSpec(const ScenarioSpec& spec, const ExecOptions& options) {

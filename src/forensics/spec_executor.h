@@ -36,6 +36,10 @@ struct SpecRunReport {
   uint64_t digest_shard2 = 0;
   bool diverged = false;
   std::string exception;        // what() of an escaped std::exception
+  // Sharded-engine mailbox pressure, routed through the metrics registry so
+  // repro bundles carry it (zero when the spec ran the legacy engine).
+  uint64_t mailbox_hwm = 0;
+  uint64_t mailbox_overflows = 0;
 
   Json ToJson() const;
   static bool FromJson(const Json& json, SpecRunReport* out, std::string* error);
@@ -45,6 +49,13 @@ struct SpecRunReport {
 // path). Honors plant_wedge by spinning forever — callers other than the
 // forked child must not pass wedged specs.
 SpecRunReport RunSpecInProcess(const ScenarioSpec& spec);
+
+// Re-runs the spec's Juggler engine in THIS process with full observability
+// on (metrics + flight-recorder trace) and returns {"metrics":..., "trace":...}
+// for attachment to a repro bundle. Best-effort: an escaped exception yields
+// an object with an "error" member instead. Never call with plant_wedge or
+// for crash/timeout signatures — the failure may take this process with it.
+Json CollectSpecObs(const ScenarioSpec& spec);
 
 struct ExecOptions {
   int timeout_ms = 30'000;  // wall-clock watchdog per child

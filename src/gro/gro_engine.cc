@@ -30,4 +30,22 @@ const char* FlushReasonName(FlushReason reason) {
   return "unknown";
 }
 
+void PublishGroStats(const GroStats& stats, const std::string& label,
+                     MetricsRegistry* registry) {
+  for (int i = 0; i < static_cast<int>(FlushReason::kReasonCount); ++i) {
+    if (stats.flush_by_reason[i] == 0) continue;
+    registry->AddCounter("gro.flush",
+                         label + "/" + FlushReasonName(static_cast<FlushReason>(i)),
+                         stats.flush_by_reason[i]);
+  }
+  registry->AddCounter("gro.packets_in", label, stats.packets_in);
+  registry->AddCounter("gro.acks_in", label, stats.acks_in);
+  registry->AddCounter("gro.data_packets_in", label, stats.data_packets_in);
+  registry->AddCounter("gro.ooo_packets", label, stats.ooo_packets);
+  registry->AddCounter("gro.segments_out", label, stats.segments_out);
+  registry->AddCounter("gro.data_segments_out", label, stats.data_segments_out);
+  registry->AddCounter("gro.mtus_out", label, stats.mtus_out);
+  registry->AddCounter("gro.evictions", label, stats.evictions);
+}
+
 }  // namespace juggler

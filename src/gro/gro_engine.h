@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/packet/packet.h"
 #include "src/util/time.h"
 
@@ -89,6 +91,9 @@ class GroEngine {
     const TimeNs* now = nullptr;
     // Receives deliveries and timer arm requests. Must outlive the engine.
     GroHost* host = nullptr;
+    // Optional flight recorder for structured trace events; null means
+    // tracing is off and the hooks reduce to one predictable branch.
+    FlightRecorder* recorder = nullptr;
   };
 
   static constexpr TimeNs kNoTimer = -1;
@@ -122,6 +127,10 @@ class GroEngine {
     if (segment.payload_len > 0) {
       ++stats_.data_segments_out;
       stats_.mtus_out += segment.mtu_count;
+    }
+    if (ctx_.recorder != nullptr) {
+      ctx_.recorder->Record(Now(), TraceKind::kGroFlush, static_cast<uint64_t>(reason),
+                            segment.payload_len, segment.flow.Hash());
     }
     ctx_.host->GroDeliver(std::move(segment));
   }
@@ -170,6 +179,12 @@ class GroEngine {
   Context ctx_;
   GroStats stats_;
 };
+
+// Snapshot a GroStats into `registry` under `label` (the engine instance,
+// e.g. "juggler" or "receiver"): gro.flush counters labelled by Table-2
+// reason plus the packet/segment totals.
+void PublishGroStats(const GroStats& stats, const std::string& label,
+                     MetricsRegistry* registry);
 
 }  // namespace juggler
 

@@ -136,4 +136,17 @@ void Link::OnTransmitDone() {
   StartNextIfIdle();
 }
 
+void PublishLinkStats(const LinkStats& stats, const std::string& label,
+                      MetricsRegistry* registry) {
+  registry->AddCounter("net.link.packets_tx", label, stats.packets_tx);
+  registry->AddCounter("net.link.bytes_tx", label, stats.bytes_tx);
+  registry->AddCounter("net.link.drops", label, stats.drops);
+  registry->AddCounter("net.link.red_drops", label, stats.red_drops);
+  registry->AddCounter("net.link.ecn_marks", label, stats.ecn_marks);
+  registry->AddCounter("net.link.down_drops", label, stats.down_drops);
+  registry->AddCounter("net.link.down_transitions", label, stats.down_transitions);
+  registry->MaxGauge("net.link.max_queue_bytes", label,
+                     static_cast<uint64_t>(stats.max_queue_bytes));
+}
+
 }  // namespace juggler

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/net/packet_sink.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
@@ -112,6 +113,10 @@ class Link : public PacketSink {
   Rng red_rng_;
   LinkStats stats_;
 };
+
+// Snapshot a LinkStats into `registry` under `label` (the link's name).
+void PublishLinkStats(const LinkStats& stats, const std::string& label,
+                      MetricsRegistry* registry);
 
 }  // namespace juggler
 

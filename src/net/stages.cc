@@ -24,6 +24,10 @@ void ReorderStage::Accept(PacketPtr packet) {
     out = lane_last_out_[lane];  // lanes are FIFOs
   }
   lane_last_out_[lane] = out;
+  displacement_.Record(max_out_ > out ? static_cast<uint64_t>(max_out_ - out) : 0);
+  if (out > max_out_) {
+    max_out_ = out;
+  }
   if (remote_ != nullptr) {
     // The destination domain replays the lane delay as envelope extra; no
     // local timer needed.
@@ -33,6 +37,13 @@ void ReorderStage::Accept(PacketPtr packet) {
   PacketSink* sink = sink_;
   loop_->ScheduleAt(out,
                     [sink, p = std::move(packet)]() mutable { sink->Accept(std::move(p)); });
+}
+
+void PublishReorderStats(const ReorderStage& stage, const std::string& label,
+                         MetricsRegistry* registry) {
+  registry->AddCounter("net.reorder.packets", label, stage.packets_through());
+  registry->RecordHistogram("net.reorder.displacement_ns", label,
+                            stage.displacement_histogram());
 }
 
 }  // namespace juggler

@@ -8,6 +8,7 @@
 
 #include "src/fault/fault_stage.h"
 #include "src/net/packet_sink.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
@@ -34,6 +35,12 @@ class ReorderStage : public PacketSink {
 
   uint64_t packets_through() const { return packets_; }
 
+  // Displacement a packet suffers relative to the latest egress time already
+  // scheduled: 0 for a packet leaving last (in order), else how far (ns) it
+  // jumps ahead of a predecessor — the in-path reordering signal of the
+  // data-plane detection literature. Always-on: one compare + histogram add.
+  const Log2Histogram& displacement_histogram() const { return displacement_; }
+
  private:
   EventLoop* loop_;
   std::vector<TimeNs> lane_delays_;
@@ -42,7 +49,13 @@ class ReorderStage : public PacketSink {
   PacketSink* sink_;
   RemoteEndpoint* remote_ = nullptr;
   uint64_t packets_ = 0;
+  Log2Histogram displacement_;
+  TimeNs max_out_ = 0;  // latest egress time scheduled so far
 };
+
+// Snapshot a ReorderStage's displacement histogram into `registry`.
+void PublishReorderStats(const ReorderStage& stage, const std::string& label,
+                         MetricsRegistry* registry);
 
 // Drops each packet independently with probability `drop_prob` (the 0.1%
 // loss injection of Figure 14). Folded into the fault layer's FaultStage: a

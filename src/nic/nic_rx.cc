@@ -16,6 +16,7 @@ NicRx::NicRx(EventLoop* loop, const CpuCostModel* costs, const NicRxConfig& conf
     GroEngine::Context ctx;
     ctx.now = loop->now_ptr();
     ctx.host = q.get();
+    ctx.recorder = config_.recorder;
     q->gro->set_context(ctx);
     queues_.push_back(std::move(q));
   }
@@ -67,11 +68,20 @@ void NicRx::ScheduleInterrupt(RxQueue* q) {
   q->interrupt_pending = true;
   const TimeNs earliest = q->last_interrupt + config_.int_coalesce;
   const TimeNs at = earliest > loop_->now() ? earliest : loop_->now();
+  ++stats_.coalesce_arms;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(loop_->now(), TraceKind::kNicCoalesceArm, q->index,
+                             static_cast<uint64_t>(at - loop_->now()));
+  }
   loop_->ScheduleAt(at, [this, q] { FireInterrupt(q); });
 }
 
 void NicRx::FireInterrupt(RxQueue* q) {
   ++stats_.interrupts;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(loop_->now(), TraceKind::kNicInterrupt, q->index,
+                             q->ring.size());
+  }
   q->last_interrupt = loop_->now();
   q->interrupt_pending = false;
   q->polling = true;
@@ -99,6 +109,13 @@ void NicRx::DoPoll(RxQueue* q, bool session_entry) {
     cost += costs_->driver_per_packet;
     cost += q->gro->Receive(std::move(p));
     ++work;
+  }
+  if (work == config_.napi_budget && !q->ring.empty()) {
+    ++stats_.napi_budget_exhausted;
+    if (config_.recorder != nullptr) {
+      config_.recorder->Record(loop_->now(), TraceKind::kNapiBudget, q->index,
+                               q->ring.size());
+    }
   }
   cost += q->gro->PollComplete();
   q->core.Submit(cost, [this, q] {
@@ -155,6 +172,17 @@ GroStats NicRx::TotalGroStats() const {
     }
   }
   return total;
+}
+
+void PublishNicRxStats(const NicRxStats& stats, const std::string& label,
+                       MetricsRegistry* registry) {
+  registry->AddCounter("nic.packets_in", label, stats.packets_in);
+  registry->AddCounter("nic.ring_drops", label, stats.ring_drops);
+  registry->AddCounter("nic.checksum_drops", label, stats.checksum_drops);
+  registry->AddCounter("nic.interrupts", label, stats.interrupts);
+  registry->AddCounter("nic.polls", label, stats.polls);
+  registry->AddCounter("nic.coalesce_arms", label, stats.coalesce_arms);
+  registry->AddCounter("nic.napi_budget_exhausted", label, stats.napi_budget_exhausted);
 }
 
 }  // namespace juggler

@@ -55,6 +55,9 @@ struct NicRxConfig {
   // >= 0 forces all packets to one queue (the paper aims all flows at a
   // single RX queue in the CPU experiments); -1 uses RSS hashing.
   int force_queue = -1;
+  // Optional flight recorder handed to the GRO engines and the interrupt
+  // path; null leaves tracing off.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct NicRxStats {
@@ -63,6 +66,8 @@ struct NicRxStats {
   uint64_t checksum_drops = 0;  // corrupted frames discarded at validation
   uint64_t interrupts = 0;
   uint64_t polls = 0;
+  uint64_t coalesce_arms = 0;           // interrupt armed behind the τ₀ spacing
+  uint64_t napi_budget_exhausted = 0;   // poll rounds that hit napi_budget
 };
 
 class NicRx : public PacketSink {
@@ -87,6 +92,8 @@ class NicRx : public PacketSink {
 
   // Sum of GRO stats across queues.
   GroStats TotalGroStats() const;
+
+  const NicRxConfig& config() const { return config_; }
 
  private:
   // Each queue is its engine's GroHost: deliveries buffer into the queue's
@@ -128,6 +135,10 @@ class NicRx : public PacketSink {
   std::vector<std::unique_ptr<RxQueue>> queues_;
   NicRxStats stats_;
 };
+
+// Snapshot a NicRxStats into `registry` under `label` (e.g. "receiver").
+void PublishNicRxStats(const NicRxStats& stats, const std::string& label,
+                       MetricsRegistry* registry);
 
 }  // namespace juggler
 

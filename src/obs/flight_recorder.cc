@@ -1,0 +1,173 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace juggler {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kGroFlush: return "gro_flush";
+    case TraceKind::kPhase: return "phase";
+    case TraceKind::kEviction: return "eviction";
+    case TraceKind::kNicInterrupt: return "nic_interrupt";
+    case TraceKind::kNicCoalesceArm: return "nic_coalesce_arm";
+    case TraceKind::kNapiBudget: return "napi_budget";
+    case TraceKind::kFault: return "fault";
+    case TraceKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+const char* FaultCodeName(int code) {
+  switch (code) {
+    case kFaultCodeDrop: return "drop";
+    case kFaultCodeBurstDrop: return "burst_drop";
+    case kFaultCodeCorrupt: return "corrupt";
+    case kFaultCodeTruncate: return "truncate";
+    case kFaultCodeDuplicate: return "duplicate";
+    case kFaultCodeDelay: return "delay";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(uint32_t shard, size_t capacity)
+    : shard_(shard), ring_(capacity == 0 ? 1 : capacity) {}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> MergeTraces(const std::vector<const FlightRecorder*>& recorders) {
+  std::vector<TraceEvent> all;
+  for (const FlightRecorder* r : recorders) {
+    if (r == nullptr) continue;
+    std::vector<TraceEvent> part = r->Snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.seq < b.seq;
+  });
+  return all;
+}
+
+namespace {
+
+const char* NameOrNumber(const char* (*fn)(int), int v, char* buf, size_t buf_len) {
+  if (fn != nullptr) return fn(v);
+  std::snprintf(buf, buf_len, "%d", v);
+  return buf;
+}
+
+Json EventArgs(const TraceEvent& e, const TraceNamer& namer) {
+  char buf[32];
+  Json args = Json::Object();
+  args.Set("t_ns", Json::Int(e.time));
+  switch (e.kind) {
+    case TraceKind::kGroFlush:
+      args.Set("reason",
+               Json::Str(NameOrNumber(namer.flush_reason, (int)e.a, buf, sizeof(buf))));
+      args.Set("payload_len", Json::Uint(e.b));
+      args.Set("flow", Json::Uint(e.c));
+      break;
+    case TraceKind::kPhase:
+      args.Set("from", Json::Str(NameOrNumber(namer.phase, (int)e.a, buf, sizeof(buf))));
+      args.Set("to", Json::Str(NameOrNumber(namer.phase, (int)e.b, buf, sizeof(buf))));
+      args.Set("flow", Json::Uint(e.c));
+      break;
+    case TraceKind::kEviction:
+      args.Set("phase", Json::Str(NameOrNumber(namer.phase, (int)e.a, buf, sizeof(buf))));
+      args.Set("held_bytes", Json::Uint(e.b));
+      args.Set("flow", Json::Uint(e.c));
+      break;
+    case TraceKind::kNicInterrupt:
+      args.Set("queue", Json::Uint(e.a));
+      args.Set("ring_depth", Json::Uint(e.b));
+      break;
+    case TraceKind::kNicCoalesceArm:
+      args.Set("queue", Json::Uint(e.a));
+      args.Set("delay_ns", Json::Uint(e.b));
+      break;
+    case TraceKind::kNapiBudget:
+      args.Set("queue", Json::Uint(e.a));
+      args.Set("ring_left", Json::Uint(e.b));
+      break;
+    case TraceKind::kFault:
+      args.Set("fault", Json::Str(FaultCodeName((int)e.a)));
+      args.Set("seq", Json::Uint(e.b));
+      args.Set("payload_len", Json::Uint(e.c));
+      break;
+    case TraceKind::kKindCount:
+      break;
+  }
+  return args;
+}
+
+const char* EventCategory(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kGroFlush:
+    case TraceKind::kPhase:
+    case TraceKind::kEviction:
+      return "gro";
+    case TraceKind::kNicInterrupt:
+    case TraceKind::kNicCoalesceArm:
+    case TraceKind::kNapiBudget:
+      return "nic";
+    case TraceKind::kFault:
+      return "fault";
+    case TraceKind::kKindCount:
+      break;
+  }
+  return "sim";
+}
+
+}  // namespace
+
+Json TraceToJson(const std::vector<TraceEvent>& events, uint64_t dropped,
+                 const TraceNamer& namer) {
+  Json out = Json::Object();
+  Json items = Json::Array();
+  for (const TraceEvent& e : events) {
+    Json ev = Json::Object();
+    ev.Set("name", Json::Str(TraceKindName(e.kind)));
+    ev.Set("cat", Json::Str(EventCategory(e.kind)));
+    ev.Set("ph", Json::Str("i"));
+    ev.Set("ts", Json::Int(e.time / 1000));  // chrome://tracing wants microseconds
+    ev.Set("pid", Json::Int(1));
+    ev.Set("tid", Json::Int(e.shard));
+    ev.Set("s", Json::Str("t"));
+    ev.Set("args", EventArgs(e, namer));
+    items.Push(std::move(ev));
+  }
+  out.Set("traceEvents", std::move(items));
+  out.Set("displayTimeUnit", Json::Str("ns"));
+  Json other = Json::Object();
+  other.Set("generator", Json::Str("juggler-flight-recorder"));
+  other.Set("build", Json::Str(__VERSION__));
+  other.Set("dropped_events", Json::Uint(dropped));
+  out.Set("otherData", std::move(other));
+  return out;
+}
+
+bool WriteTraceFile(const std::string& path, const Json& trace, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string text = trace.Dump(1);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace juggler

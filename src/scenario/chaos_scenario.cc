@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/core/juggler.h"
 #include "src/fault/audit_log.h"
 #include "src/fault/juggler_auditor.h"
 #include "src/fault/link_flapper.h"
@@ -66,15 +67,18 @@ TimeNs NominalTransferTime(const ChaosOptions& opt) {
 
 // The NetFPGA options a chaos run uses, shared by the legacy and sharded
 // execution paths so both subject packets to the same fault schedule.
-NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, AuditLog* log) {
+NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, AuditLog* log,
+                                   FlightRecorder* sender_rec, FlightRecorder* receiver_rec) {
   NetFpgaOptions nopt;
   nopt.link_rate_bps = opt.link_rate_bps;
   nopt.base_delay = opt.base_delay;
   nopt.reorder_delay = opt.reorder_delay;
   nopt.seed = opt.seed * 2654435761ULL + static_cast<uint64_t>(opt.family);
   nopt.sender.rx.int_coalesce = opt.int_coalesce;
+  nopt.sender.rx.recorder = sender_rec;
   nopt.sender.gro_factory = MakeStandardGroFactory();
   nopt.receiver.rx.int_coalesce = opt.int_coalesce;
+  nopt.receiver.rx.recorder = receiver_rec;
 
   JugglerConfig jcfg;
   jcfg.inseq_timeout = opt.inseq_timeout;
@@ -105,6 +109,47 @@ std::unique_ptr<LinkFlapper> MaybeStartFlapper(const ChaosOptions& opt, EventLoo
   auto flapper = std::make_unique<LinkFlapper>(loop, fwd_link, std::move(windows));
   flapper->Start();
   return flapper;
+}
+
+// Per-layer metrics snapshot, taken after the run completes (and, on the
+// sharded path, after the workers have joined — the registry needs no
+// atomics). Everything published here is invariant across worker counts.
+template <typename Testbed>
+void PublishChaosMetrics(const Testbed* t, const EndpointPair* pair, LinkFlapper* flapper,
+                         bool use_juggler, MetricsRegistry* m) {
+  PublishNicRxStats(t->sender->nic_rx()->stats(), "sender", m);
+  PublishNicRxStats(t->receiver->nic_rx()->stats(), "receiver", m);
+  PublishGroStats(t->receiver->nic_rx()->TotalGroStats(),
+                  use_juggler ? "juggler" : "baseline", m);
+  for (size_t q = 0; q < t->receiver->nic_rx()->num_queues(); ++q) {
+    GroEngine* engine = t->receiver->nic_rx()->gro(q);
+    Juggler* juggler = dynamic_cast<Juggler*>(engine);
+    if (juggler == nullptr) {
+      if (auto* auditor = dynamic_cast<JugglerAuditor*>(engine)) {
+        juggler = auditor->inner();
+      }
+    }
+    if (juggler != nullptr) {
+      PublishJugglerStats(juggler->juggler_stats(), "receiver", m);
+    }
+  }
+  if (t->fault != nullptr) {
+    PublishFaultStats(t->fault->stats(), t->fault->name(), m);
+  }
+  if (t->reorder != nullptr) {
+    PublishReorderStats(*t->reorder, "netfpga", m);
+  }
+  if (t->fwd_link != nullptr) {
+    PublishLinkStats(t->fwd_link->stats(), t->fwd_link->name(), m);
+  }
+  if (t->rev_link != nullptr) {
+    PublishLinkStats(t->rev_link->stats(), t->rev_link->name(), m);
+  }
+  PublishTcpStats(pair->a_to_b->sender_stats(), pair->b_to_a->receiver_stats(), "a_to_b", m);
+  PublishTcpStats(pair->b_to_a->sender_stats(), pair->a_to_b->receiver_stats(), "b_to_a", m);
+  if (flapper != nullptr) {
+    m->AddCounter("net.flaps", "", flapper->flaps_started());
+  }
 }
 
 // Result assembly + digest, identical for both execution paths (the testbed
@@ -159,6 +204,14 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
   d.Mix(snd.rtos);
   d.Mix(snd.retransmitted_bytes);
   r->digest = d.h;
+
+  // Observability snapshot last, strictly after the digest: metrics must
+  // never enter it.
+  r->obs.metrics_enabled = opt.obs.metrics;
+  r->obs.trace_enabled = opt.obs.trace;
+  if (opt.obs.metrics) {
+    PublishChaosMetrics(t, pair, flapper, use_juggler, &r->obs.metrics);
+  }
 }
 
 // Sharded execution: same scenario, same fault schedule, run on the
@@ -167,8 +220,20 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
   ChaosEngineResult r;
   r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
 
+  // One flight recorder per shard domain, so workers write without any
+  // synchronization: sender-domain components (NIC, fault stage) record as
+  // shard 0, receiver-domain as shard 1. Declared before the engine so they
+  // outlive everything holding a pointer.
+  std::vector<std::unique_ptr<FlightRecorder>> recorders;
+  if (opt.obs.trace) {
+    recorders.push_back(std::make_unique<FlightRecorder>(0, opt.obs.trace_capacity));
+    recorders.push_back(std::make_unique<FlightRecorder>(1, opt.obs.trace_capacity));
+  }
+  FlightRecorder* sender_rec = opt.obs.trace ? recorders[0].get() : nullptr;
+  FlightRecorder* receiver_rec = opt.obs.trace ? recorders[1].get() : nullptr;
+
   AuditLog log;
-  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log);
+  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log, sender_rec, receiver_rec);
 
   // Declared before the testbed: the fabric's teardown releases packets
   // back into the engine's domain pools.
@@ -176,6 +241,9 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
   engine.set_mailbox_capacity(opt.shard_mailbox_capacity);
   CpuCostModel costs;
   ShardedNetFpgaTestbed t = BuildShardedNetFpga(&engine, &costs, nopt);
+  if (t.fault != nullptr) {
+    t.fault->set_recorder(sender_rec);  // the fault stage runs sender-side
+  }
 
   std::unique_ptr<LinkFlapper> flapper =
       MaybeStartFlapper(opt, &t.sender_domain->loop(), t.fwd_link);
@@ -210,6 +278,17 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
     r.shard_names.push_back(engine.domain(i)->name());
     r.shard_events.push_back(engine.domain(i)->executed_events());
   }
+  if (opt.obs.metrics) {
+    PublishShardedEngineStats(&engine, &r.obs.metrics);
+  }
+  if (opt.obs.trace) {
+    std::vector<const FlightRecorder*> recs;
+    for (const auto& rec : recorders) {
+      recs.push_back(rec.get());
+      r.obs.trace_dropped += rec->dropped();
+    }
+    r.obs.events = MergeTraces(recs);
+  }
   return r;
 }
 
@@ -222,11 +301,21 @@ ChaosEngineResult RunChaosEngine(const ChaosOptions& opt, bool use_juggler) {
   ChaosEngineResult r;
   r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
 
+  // Legacy single-loop execution: one recorder (shard 0) covers everything.
+  std::unique_ptr<FlightRecorder> recorder;
+  if (opt.obs.trace) {
+    recorder = std::make_unique<FlightRecorder>(0, opt.obs.trace_capacity);
+  }
+
   SimWorld world;
   AuditLog log;
-  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log);
+  NetFpgaOptions nopt =
+      ChaosTestbedOptions(opt, use_juggler, &log, recorder.get(), recorder.get());
 
   NetFpgaTestbed t = BuildNetFpga(&world, nopt);
+  if (t.fault != nullptr) {
+    t.fault->set_recorder(recorder.get());
+  }
 
   std::unique_ptr<LinkFlapper> flapper =
       MaybeStartFlapper(opt, &world.loop, t.fwd_link);
@@ -247,7 +336,39 @@ ChaosEngineResult RunChaosEngine(const ChaosOptions& opt, bool use_juggler) {
   world.loop.RunUntil(world.loop.now() + Ms(5));
 
   FinishRun(opt, &t, &pair, flapper.get(), &integrity, &log, use_juggler, world.loop.now(), &r);
+  if (opt.obs.trace) {
+    r.obs.trace_dropped = recorder->dropped();
+    r.obs.events = MergeTraces({recorder.get()});
+  }
   return r;
+}
+
+namespace {
+
+const char* TraceFlushReasonName(int reason) {
+  if (reason < 0 || reason >= static_cast<int>(FlushReason::kReasonCount)) {
+    return "unknown";
+  }
+  return FlushReasonName(static_cast<FlushReason>(reason));
+}
+
+const char* TracePhaseName(int phase) {
+  if (phase == kFlowPhaseNone) {
+    return "none";
+  }
+  if (phase < 0 || phase >= kFlowPhaseCount) {
+    return "unknown";
+  }
+  return FlowPhaseName(static_cast<FlowPhase>(phase));
+}
+
+}  // namespace
+
+TraceNamer ChaosTraceNamer() {
+  TraceNamer namer;
+  namer.flush_reason = TraceFlushReasonName;
+  namer.phase = TracePhaseName;
+  return namer;
 }
 
 const char* FaultFamilyName(FaultFamily family) {

@@ -25,6 +25,7 @@
 
 #include "src/fault/fault_stage.h"
 #include "src/fault/link_flapper.h"
+#include "src/obs/obs.h"
 #include "src/util/time.h"
 
 namespace juggler {
@@ -85,6 +86,11 @@ struct ChaosOptions {
   // Enables the planted conservation-law defect in the Juggler config (see
   // JugglerConfig::debug_flush_accounting_skew). Forensics tests only.
   bool plant_flush_skew = false;
+
+  // Observability: what this run collects (metrics snapshot, flight-recorder
+  // trace). Off by default — the datapath then carries only the untaken
+  // null-recorder branches.
+  ObsConfig obs;
 };
 
 struct ChaosEngineResult {
@@ -112,6 +118,10 @@ struct ChaosEngineResult {
   std::vector<uint64_t> shard_barrier_wait_ns;    // per worker
   size_t shard_mailbox_hwm = 0;                   // deepest per-pair buffer
   uint64_t shard_mailbox_overflows = 0;           // envelopes shed at the fuse
+  // What ObsConfig asked for. Everything here is shard-count invariant
+  // (worker-dependent stats are deliberately excluded) and stays OUT of the
+  // digest — observability must never perturb reproducibility checks.
+  ObsReport obs;
 };
 
 struct ChaosResult {
@@ -141,6 +151,10 @@ ChaosResult RunChaos(const ChaosOptions& options);
 // result (digest included). The forensics executor calls this directly so
 // it can run the same spec at different shard counts and diff the digests.
 ChaosEngineResult RunChaosEngine(const ChaosOptions& options, bool use_juggler);
+
+// The TraceNamer that decodes chaos-run trace events with the repo's own
+// Table-2 flush-reason and §4 phase names (phase 4 decodes to "none").
+TraceNamer ChaosTraceNamer();
 
 }  // namespace juggler
 

@@ -198,4 +198,17 @@ void ShardedEngine::Run(TimeNs deadline) {
   }
 }
 
+void PublishShardedEngineStats(ShardedEngine* engine, MetricsRegistry* registry) {
+  const ShardedEngineStats& stats = engine->stats();
+  registry->AddCounter("sim.windows", "", stats.windows);
+  registry->AddCounter("sim.crossings", "", stats.crossings);
+  registry->SetGauge("sim.lookahead_ns", "", static_cast<uint64_t>(stats.lookahead));
+  registry->MaxGauge("sim.mailbox_high_watermark", "", stats.mailbox_high_watermark);
+  registry->AddCounter("sim.mailbox_overflow_drops", "", stats.mailbox_overflow_drops);
+  for (size_t i = 0; i < engine->domain_count(); ++i) {
+    ShardDomain* d = engine->domain(i);
+    registry->AddCounter("sim.executed_events", d->name(), d->executed_events());
+  }
+}
+
 }  // namespace juggler

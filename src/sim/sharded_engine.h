@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/packet/packet.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/shard_mailbox.h"
@@ -155,6 +156,13 @@ class ShardedEngine {
 
   ShardedEngineStats stats_;
 };
+
+// Snapshot the engine's worker-invariant stats into `registry`: windows,
+// crossings, lookahead, mailbox pressure, per-domain executed-event counts.
+// Deliberately excludes `workers` and `barrier_wait_ns` — those depend on
+// the worker count / wall clock, and published metrics must stay
+// byte-identical across --shards=N.
+void PublishShardedEngineStats(ShardedEngine* engine, MetricsRegistry* registry);
 
 }  // namespace juggler
 

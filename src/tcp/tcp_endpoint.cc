@@ -430,4 +430,22 @@ void TcpEndpoint::SendAckNow(Seq dsack_start, Seq dsack_end, bool ece) {
   nic_->SendAck(local_, snd_nxt_, rcv_nxt_, AdvertisedWindow(), priority, sack, ece);
 }
 
+void PublishTcpStats(const TcpSenderStats& sender, const TcpReceiverStats& receiver,
+                     const std::string& label, MetricsRegistry* registry) {
+  registry->AddCounter("tcp.bytes_sent", label, sender.bytes_sent);
+  registry->AddCounter("tcp.bytes_acked", label, sender.bytes_acked);
+  registry->AddCounter("tcp.acks_in", label, sender.acks_in);
+  registry->AddCounter("tcp.dupacks_in", label, sender.dupacks_in);
+  registry->AddCounter("tcp.fast_retransmits", label, sender.fast_retransmits);
+  registry->AddCounter("tcp.rtos", label, sender.rtos);
+  registry->AddCounter("tcp.retransmitted_bytes", label, sender.retransmitted_bytes);
+  registry->AddCounter("tcp.spurious_retransmits", label,
+                       sender.spurious_retransmits_detected);
+  registry->AddCounter("tcp.segments_in", label, receiver.segments_in);
+  registry->AddCounter("tcp.ooo_segments_in", label, receiver.ooo_segments_in);
+  registry->AddCounter("tcp.old_segments_in", label, receiver.old_segments_in);
+  registry->AddCounter("tcp.acks_sent", label, receiver.acks_sent);
+  registry->AddCounter("tcp.bytes_delivered", label, receiver.bytes_delivered);
+}
+
 }  // namespace juggler

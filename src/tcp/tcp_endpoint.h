@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/nic/nic_tx.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/util/seq.h"
 #include "src/util/seq_range_set.h"
@@ -74,6 +75,13 @@ struct TcpSenderStats {
   uint64_t retransmitted_bytes = 0;
   uint64_t spurious_retransmits_detected = 0;  // via DSACK
 };
+
+// Snapshot TCP endpoint stats into `registry` under `label` (the flow, e.g.
+// "a_to_b"): dupACK and spurious-retransmit counters are the paper's §5
+// reordering-visible-to-TCP signals.
+struct TcpReceiverStats;
+void PublishTcpStats(const TcpSenderStats& sender, const TcpReceiverStats& receiver,
+                     const std::string& label, MetricsRegistry* registry);
 
 struct TcpReceiverStats {
   uint64_t segments_in = 0;

@@ -1,0 +1,282 @@
+// FlushReasonAudit: every Table-2 flush condition, driven individually.
+//
+// For each engine x reason pair in the expected coverage matrix below, a
+// dedicated scenario drives exactly that flush condition through a bare
+// GroHarness and the test asserts that
+//
+//   * the engine's flush_by_reason counter for the targeted reason moved,
+//   * no reason OUTSIDE the engine's permitted set ever fired, and
+//   * PublishGroStats mirrors every per-reason count into the metrics
+//     registry under the exact "label/reason" key the dashboards use.
+//
+// The coverage loops at the bottom fail loudly — naming the engine and the
+// reason — when a permitted reason has no scenario or a scenario stops
+// exercising its reason, so the matrix cannot silently rot. The union of
+// the three engines' permitted sets must cover all of Table 2.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/juggler.h"
+#include "src/gro/baseline_gro.h"
+#include "src/gro/presto_gro.h"
+#include "src/obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace juggler {
+namespace {
+
+using Drive = std::function<void(GroHarness&)>;
+using DriveMap = std::map<FlushReason, Drive>;
+using Factory = std::function<std::unique_ptr<GroEngine>(const CpuCostModel*)>;
+
+// ----------------------------------------------------------------- matrix --
+
+// Which Table-2 reasons each engine is ALLOWED to emit. Everything else
+// firing is a bug (e.g. Juggler must never flush kPollEnd — surviving poll
+// boundaries is its whole point; standard GRO has no timers, so neither
+// timeout reason may ever appear in its stats).
+const std::set<FlushReason> kJugglerAllowed = {
+    FlushReason::kSeqBeforeNext, FlushReason::kSizeLimit,  FlushReason::kFlags,
+    FlushReason::kInseqTimeout,  FlushReason::kOfoTimeout, FlushReason::kEviction,
+    FlushReason::kPureAck,
+};
+const std::set<FlushReason> kStandardAllowed = {
+    FlushReason::kPollEnd,    FlushReason::kFlags,        FlushReason::kSizeLimit,
+    FlushReason::kOutOfOrder, FlushReason::kMetaMismatch, FlushReason::kPureAck,
+};
+const std::set<FlushReason> kPrestoAllowed = {
+    FlushReason::kSeqBeforeNext, FlushReason::kSizeLimit, FlushReason::kMetaMismatch,
+    FlushReason::kPollEnd,       FlushReason::kOfoTimeout, FlushReason::kPureAck,
+    FlushReason::kFlags,
+};
+
+PacketPtr WithCeMark(PacketPtr p) {
+  p->ce_mark = true;
+  return p;
+}
+
+// Feed `n` in-order MSS packets starting at seq 0.
+void FeedInOrder(GroHarness& h, int n) {
+  const FiveTuple flow = TestFlow();
+  for (int i = 0; i < n; ++i) {
+    h.Receive(MakeDataPacket(flow, static_cast<Seq>(i) * kMss, kMss));
+  }
+}
+
+// ---------------------------------------------------------------- drivers --
+
+DriveMap JugglerDrives() {
+  DriveMap d;
+  d[FlushReason::kPureAck] = [](GroHarness& h) {
+    h.Receive(MakeAckPacket(TestFlow(), 0));
+  };
+  // Table 2 row 3: PSH forces eager delivery of the merged run.
+  d[FlushReason::kFlags] = [](GroHarness& h) {
+    h.Receive(MakeDataPacket(TestFlow(), 0, kMss, kFlagAck | kFlagPsh));
+  };
+  // Table 2 row 2: 45 merged MTUs hit the 64KB segment cap.
+  d[FlushReason::kSizeLimit] = [](GroHarness& h) { FeedInOrder(h, 45); };
+  // Table 2 row 1: a sequence number below seq_next after the flow left
+  // build-up is treated as a retransmission and bypasses the queue.
+  d[FlushReason::kSeqBeforeNext] = [](GroHarness& h) {
+    const FiveTuple flow = TestFlow();
+    h.Receive(MakeDataPacket(flow, 0, kMss, kFlagAck | kFlagPsh));  // flushes; exits build-up
+    h.Receive(MakeDataPacket(flow, 0, kMss));                       // now before seq_next
+  };
+  // Table 2 row 5: in-sequence data held past inseq_timeout.
+  d[FlushReason::kInseqTimeout] = [](GroHarness& h) {
+    h.Receive(MakeDataPacket(TestFlow(), 0, kMss));
+    h.Advance(Us(20));  // > the 15us default
+    h.PollComplete();
+  };
+  // Table 2 row 6: a hole at the head of the queue outlives ofo_timeout.
+  d[FlushReason::kOfoTimeout] = [](GroHarness& h) {
+    const FiveTuple flow = TestFlow();
+    h.Receive(MakeDataPacket(flow, 0, kMss, kFlagAck | kFlagPsh));  // seq_next -> kMss
+    h.Receive(MakeDataPacket(flow, 3 * kMss, kMss));                // hole at kMss
+    h.Advance(Us(60));  // > the 50us default
+    h.PollComplete();
+  };
+  // Table 2 row 7 (section 4.3): table full, victim's queue drains upward.
+  d[FlushReason::kEviction] = [](GroHarness& h) {
+    h.Receive(MakeDataPacket(TestFlow(1000), 0, kMss));  // buffered, not ready
+    h.Receive(MakeDataPacket(TestFlow(2000), 0, kMss));  // needs the only slot
+  };
+  return d;
+}
+
+DriveMap StandardDrives() {
+  DriveMap d;
+  d[FlushReason::kPureAck] = [](GroHarness& h) {
+    h.Receive(MakeAckPacket(TestFlow(), 0));
+  };
+  d[FlushReason::kFlags] = [](GroHarness& h) {
+    h.Receive(MakeDataPacket(TestFlow(), 0, kMss, kFlagAck | kFlagPsh));
+  };
+  d[FlushReason::kSizeLimit] = [](GroHarness& h) { FeedInOrder(h, 45); };
+  // The section-3 batching collapse: any gap flushes the held segment.
+  d[FlushReason::kOutOfOrder] = [](GroHarness& h) {
+    const FiveTuple flow = TestFlow();
+    h.Receive(MakeDataPacket(flow, 0, kMss));
+    h.Receive(MakeDataPacket(flow, 2 * kMss, kMss));
+  };
+  // Table 2 row 4: a CE-mark boundary splits the merge.
+  d[FlushReason::kMetaMismatch] = [](GroHarness& h) {
+    const FiveTuple flow = TestFlow();
+    h.Receive(MakeDataPacket(flow, 0, kMss));
+    h.Receive(WithCeMark(MakeDataPacket(flow, kMss, kMss)));
+  };
+  d[FlushReason::kPollEnd] = [](GroHarness& h) {
+    h.Receive(MakeDataPacket(TestFlow(), 0, kMss));
+    h.PollComplete();
+  };
+  return d;
+}
+
+DriveMap PrestoDrives() {
+  DriveMap d;
+  d[FlushReason::kPureAck] = [](GroHarness& h) {
+    h.Receive(MakeAckPacket(TestFlow(), 0));
+  };
+  // Presto has no PSH-eager path of its own; SYN/FIN still deliver directly.
+  d[FlushReason::kFlags] = [](GroHarness& h) {
+    h.Receive(MakeDataPacket(TestFlow(), 0, kMss, kFlagSyn));
+  };
+  d[FlushReason::kSizeLimit] = [](GroHarness& h) { FeedInOrder(h, 45); };
+  d[FlushReason::kSeqBeforeNext] = [](GroHarness& h) {
+    const FiveTuple flow = TestFlow();
+    h.Receive(MakeDataPacket(flow, kMss, kMss));  // expected learns kMss..2*kMss
+    h.Receive(MakeDataPacket(flow, 0, kMss));     // before expected
+  };
+  d[FlushReason::kMetaMismatch] = [](GroHarness& h) {
+    const FiveTuple flow = TestFlow();
+    h.Receive(MakeDataPacket(flow, 0, kMss));
+    h.Receive(WithCeMark(MakeDataPacket(flow, kMss, kMss)));
+  };
+  d[FlushReason::kPollEnd] = [](GroHarness& h) {
+    h.Receive(MakeDataPacket(TestFlow(), 0, kMss));
+    h.PollComplete();
+  };
+  // Presto's coarse poll-completion OOO timeout.
+  d[FlushReason::kOfoTimeout] = [](GroHarness& h) {
+    const FiveTuple flow = TestFlow();
+    h.Receive(MakeDataPacket(flow, 0, kMss));
+    h.Receive(MakeDataPacket(flow, 3 * kMss, kMss));  // buffered OOO run
+    h.Advance(Ms(2));                                 // > the 1ms default
+    h.PollComplete();
+  };
+  return d;
+}
+
+// ----------------------------------------------------------------- runner --
+
+void RunAudit(const std::string& label, const Factory& factory, const DriveMap& drives,
+              const std::set<FlushReason>& allowed) {
+  // Every permitted reason must have a scenario, and vice versa: the drive
+  // map IS the executable statement of the engine's Table-2 coverage.
+  for (FlushReason r : allowed) {
+    EXPECT_TRUE(drives.count(r) != 0)
+        << label << ": permitted flush reason '" << FlushReasonName(r)
+        << "' has NO audit scenario — the coverage matrix has a hole";
+  }
+  for (const auto& [r, drive] : drives) {
+    EXPECT_TRUE(allowed.count(r) != 0)
+        << label << ": scenario exists for '" << FlushReasonName(r)
+        << "' but the matrix says this engine never emits it";
+  }
+
+  for (const auto& [target, drive] : drives) {
+    GroHarness h(factory);
+    drive(h);
+    const GroStats& stats = h.engine()->stats();
+
+    EXPECT_GE(stats.flush_by_reason[static_cast<int>(target)], 1u)
+        << label << ": the scenario for '" << FlushReasonName(target)
+        << "' completed without a single flush labelled with that reason";
+
+    for (int i = 0; i < static_cast<int>(FlushReason::kReasonCount); ++i) {
+      const FlushReason r = static_cast<FlushReason>(i);
+      if (allowed.count(r) == 0) {
+        EXPECT_EQ(stats.flush_by_reason[i], 0u)
+            << label << ": scenario for '" << FlushReasonName(target)
+            << "' made the engine emit forbidden reason '" << FlushReasonName(r) << "'";
+      }
+    }
+
+    // The registry mirror: each per-reason count appears under exactly
+    // "<label>/<reason>", and reasons that never fired are absent (0).
+    MetricsRegistry registry;
+    PublishGroStats(stats, label, &registry);
+    for (int i = 0; i < static_cast<int>(FlushReason::kReasonCount); ++i) {
+      const FlushReason r = static_cast<FlushReason>(i);
+      EXPECT_EQ(registry.CounterValue("gro.flush", label + "/" + FlushReasonName(r)),
+                stats.flush_by_reason[i])
+          << label << ": gro.flush/" << FlushReasonName(r)
+          << " in the registry disagrees with the engine's own counter";
+    }
+  }
+}
+
+Factory JugglerFactory(size_t max_flows = 64) {
+  return [max_flows](const CpuCostModel* costs) {
+    JugglerConfig config;
+    config.max_flows = max_flows;
+    return std::make_unique<Juggler>(costs, config);
+  };
+}
+
+TEST(FlushReasonAudit, Juggler) {
+  DriveMap drives = JugglerDrives();
+  // The eviction scenario needs its own one-slot table; run it separately
+  // and audit the rest with the default config.
+  Drive evict = drives[FlushReason::kEviction];
+  drives.erase(FlushReason::kEviction);
+
+  std::set<FlushReason> allowed = kJugglerAllowed;
+  allowed.erase(FlushReason::kEviction);
+  RunAudit("juggler", JugglerFactory(), drives, allowed);
+
+  DriveMap evict_only;
+  evict_only[FlushReason::kEviction] = evict;
+  RunAudit("juggler", JugglerFactory(/*max_flows=*/1), evict_only,
+           {FlushReason::kEviction});
+}
+
+TEST(FlushReasonAudit, StandardGro) {
+  RunAudit("baseline",
+           [](const CpuCostModel* costs) { return std::make_unique<StandardGro>(costs); },
+           StandardDrives(), kStandardAllowed);
+}
+
+TEST(FlushReasonAudit, PrestoGro) {
+  RunAudit("presto",
+           [](const CpuCostModel* costs) {
+             return std::make_unique<PrestoGro>(costs, PrestoGroConfig{});
+           },
+           PrestoDrives(), kPrestoAllowed);
+}
+
+// The three engines together must exercise every row of Table 2: a reason no
+// engine is permitted to emit would mean the taxonomy carries dead labels
+// (or an engine's matrix entry silently shrank).
+TEST(FlushReasonAudit, UnionCoversEveryReason) {
+  std::set<FlushReason> covered;
+  covered.insert(kJugglerAllowed.begin(), kJugglerAllowed.end());
+  covered.insert(kStandardAllowed.begin(), kStandardAllowed.end());
+  covered.insert(kPrestoAllowed.begin(), kPrestoAllowed.end());
+  for (int i = 0; i < static_cast<int>(FlushReason::kReasonCount); ++i) {
+    const FlushReason r = static_cast<FlushReason>(i);
+    EXPECT_TRUE(covered.count(r) != 0)
+        << "flush reason '" << FlushReasonName(r)
+        << "' is exercised by NO engine in the audit matrix";
+  }
+}
+
+}  // namespace
+}  // namespace juggler

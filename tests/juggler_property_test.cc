@@ -15,10 +15,13 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/core/juggler.h"
+#include "src/obs/flight_recorder.h"
 #include "src/util/rng.h"
 #include "tests/test_util.h"
 
@@ -234,6 +237,123 @@ TEST_P(JugglerLossTest, LostPacketsFlushRestViaOfoTimeout) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JugglerLossTest, ::testing::Range<uint64_t>(1, 9));
+
+// P4 (phase machine, §4 / Figure 5): every phase transition the flight
+// recorder captures must be an edge of the paper's phase diagram, the trace
+// must agree with the phase_transitions[][] counters, and the per-phase byte
+// split must conserve payload (enqueued = flushed + evicted + held, with
+// held = 0 after a full drain).
+class JugglerPhaseMachineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JugglerPhaseMachineTest, TraceTransitionsArePermittedFigure5Edges) {
+  // Permitted edges, as (from, to) with kFlowPhaseNone = creation.
+  const std::set<std::pair<int, int>> permitted = {
+      {kFlowPhaseNone, static_cast<int>(FlowPhase::kBuildUp)},
+      {static_cast<int>(FlowPhase::kBuildUp), static_cast<int>(FlowPhase::kActiveMerge)},
+      {static_cast<int>(FlowPhase::kBuildUp), static_cast<int>(FlowPhase::kPostMerge)},
+      {static_cast<int>(FlowPhase::kBuildUp), static_cast<int>(FlowPhase::kLossRecovery)},
+      {static_cast<int>(FlowPhase::kActiveMerge), static_cast<int>(FlowPhase::kPostMerge)},
+      {static_cast<int>(FlowPhase::kActiveMerge),
+       static_cast<int>(FlowPhase::kLossRecovery)},
+      {static_cast<int>(FlowPhase::kPostMerge), static_cast<int>(FlowPhase::kActiveMerge)},
+      {static_cast<int>(FlowPhase::kLossRecovery),
+       static_cast<int>(FlowPhase::kActiveMerge)},
+  };
+
+  // A stream nasty enough to visit every phase: heavy reordering (loss
+  // recovery), a small table (evictions + reincarnations), several flows.
+  JugglerConfig config;
+  config.max_flows = 4;
+  GroHarness h(
+      [config](const CpuCostModel* c) { return std::make_unique<Juggler>(c, config); });
+  FlightRecorder recorder(/*shard=*/0, /*capacity=*/1u << 18);
+  h.AttachRecorder(&recorder);
+  Rng rng(GetParam());
+
+  const uint32_t packets_per_flow = 200;
+  const uint32_t num_flows = 8;
+  std::vector<std::vector<uint32_t>> orders;
+  for (uint32_t f = 0; f < num_flows; ++f) {
+    orders.push_back(WindowedShuffle(packets_per_flow, 40, &rng));
+  }
+  for (uint32_t i = 0; i < packets_per_flow; ++i) {
+    for (uint32_t f = 0; f < num_flows; ++f) {
+      h.Receive(MakeDataPacket(TestFlow(static_cast<uint16_t>(f + 1), 9),
+                               orders[f][i] * kMss, kMss));
+    }
+    if (i % 4 == 3) {
+      h.Advance(Us(3));
+      h.PollComplete();
+      h.MaybeFireTimer();
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Advance(Ms(1));
+    h.PollComplete();
+    h.MaybeFireTimer();
+  }
+
+  const auto* engine = static_cast<Juggler*>(h.engine());
+  const JugglerStats& stats = engine->juggler_stats();
+
+  // Every recorded transition is a permitted edge, and the trace tally
+  // matches the stats counters edge-for-edge (the recorder never filled, so
+  // nothing was overwritten).
+  ASSERT_EQ(recorder.dropped(), 0u) << "recorder capacity too small for this stream";
+  uint64_t traced[kFlowPhaseCount + 1][kFlowPhaseCount] = {};
+  uint64_t phase_event_count = 0;
+  for (const TraceEvent& e : recorder.Snapshot()) {
+    if (e.kind != TraceKind::kPhase) {
+      continue;
+    }
+    ++phase_event_count;
+    const int from = static_cast<int>(e.a);
+    const int to = static_cast<int>(e.b);
+    ASSERT_GE(from, 0);
+    ASSERT_LE(from, kFlowPhaseNone);
+    ASSERT_GE(to, 0);
+    ASSERT_LT(to, kFlowPhaseCount);
+    EXPECT_TRUE(permitted.count({from, to}) != 0)
+        << "forbidden phase transition " << from << " -> " << to;
+    ++traced[from][to];
+  }
+  EXPECT_GT(phase_event_count, 0u) << "stream never exercised the phase machine";
+  uint64_t loss_entries_traced = 0;
+  for (int from = 0; from <= kFlowPhaseCount; ++from) {
+    for (int to = 0; to < kFlowPhaseCount; ++to) {
+      EXPECT_EQ(traced[from][to], stats.phase_transitions[from][to])
+          << "trace/stats disagree on edge " << from << " -> " << to;
+      if (to == static_cast<int>(FlowPhase::kLossRecovery)) {
+        loss_entries_traced += traced[from][to];
+      }
+    }
+  }
+  EXPECT_EQ(loss_entries_traced, stats.loss_recovery_entries);
+  EXPECT_EQ(traced[kFlowPhaseNone][static_cast<int>(FlowPhase::kBuildUp)],
+            stats.flows_created);
+
+  // Packet conservation, split by phase. After the drain every OOO queue is
+  // empty, so held = 0 and the books must balance exactly.
+  uint64_t held = 0;
+  for (const auto& flow : engine->Audit().flows) {
+    held += flow.buffered_bytes;
+  }
+  ASSERT_EQ(held, 0u) << "drain left buffered payload behind";
+  uint64_t enqueued = 0;
+  uint64_t flushed = 0;
+  for (int phase = 0; phase < kFlowPhaseCount; ++phase) {
+    enqueued += stats.enqueued_bytes_by_phase[phase];
+    flushed += stats.flushed_bytes_by_phase[phase];
+  }
+  EXPECT_EQ(stats.buffered_bytes_in, enqueued);
+  EXPECT_EQ(stats.buffered_bytes_out, flushed + stats.evicted_bytes);
+  EXPECT_EQ(enqueued, flushed + stats.evicted_bytes) << "per-phase conservation violated";
+  // The post-merge phase holds an empty queue by definition: nothing can be
+  // enqueued to it (arrivals transition the flow out first).
+  EXPECT_EQ(stats.enqueued_bytes_by_phase[static_cast<int>(FlowPhase::kPostMerge)], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JugglerPhaseMachineTest, ::testing::Range<uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace juggler

@@ -83,6 +83,16 @@ class GroHarness : public GroHost {
     return true;
   }
 
+  // Re-wires the engine's context with a flight recorder attached (tests of
+  // the observability hooks). Null detaches again.
+  void AttachRecorder(FlightRecorder* recorder) {
+    GroEngine::Context ctx;
+    ctx.now = &now_;
+    ctx.host = this;
+    ctx.recorder = recorder;
+    engine_->set_context(ctx);
+  }
+
   GroEngine* engine() { return engine_.get(); }
   const std::vector<Segment>& delivered() const { return delivered_; }
   std::vector<Segment> TakeDelivered() { return std::exchange(delivered_, {}); }
