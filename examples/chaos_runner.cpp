@@ -15,6 +15,8 @@
 //   ./build/examples/chaos_runner --shards 4       # sharded parallel engine
 //   ./build/examples/chaos_runner --metrics        # per-run metrics tables
 //   ./build/examples/chaos_runner --trace out.json # Chrome/Perfetto trace
+//   ./build/examples/chaos_runner --app rpc        # RPC workload w/ retries
+//   ./build/examples/chaos_runner --app bulk-transfer --stack presto
 //
 // Exit status: 0 when every run is clean, 1 on any violation or mismatch —
 // the failing (family, seed) pair printed is a complete repro recipe.
@@ -50,6 +52,9 @@ int main(int argc, char** argv) {
   uint64_t bytes = 1'500'000;
   size_t shards = 0;
   bool metrics = false;
+  AppWorkloadKind app_kind = AppWorkloadKind::kNone;
+  bool single_stack = false;
+  StackKind stack = StackKind::kJuggler;
   std::string trace_path;
   std::vector<FaultFamily> families(std::begin(kAllFamilies), std::end(kAllFamilies));
 
@@ -87,9 +92,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       families.assign(1, f);
+    } else if (std::strcmp(argv[i], "--app") == 0) {
+      if (!ParseAppWorkloadKind(next("--app"), &app_kind) ||
+          app_kind == AppWorkloadKind::kNone) {
+        std::fprintf(stderr, "unknown app workload (rpc bulk-transfer incast replication)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--stack") == 0) {
+      if (!ParseStackKind(next("--stack"), &stack)) {
+        std::fprintf(stderr, "unknown stack (juggler vanilla presto)\n");
+        return 2;
+      }
+      single_stack = true;
     } else {
       std::fprintf(stderr, "usage: %s [--seeds N] [--base-seed S] [--bytes B] "
-                           "[--family NAME] [--shards N] [--metrics] [--trace FILE]\n",
+                           "[--family NAME] [--shards N] [--app KIND] [--stack NAME] "
+                           "[--metrics] [--trace FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -112,6 +130,51 @@ int main(int argc, char** argv) {
       opt.shards = shards;
       opt.obs.metrics = metrics;
       opt.obs.trace = !trace_path.empty();
+      if (app_kind != AppWorkloadKind::kNone) {
+        opt.app.kind = app_kind;
+        opt.app.response_bytes = 12'288;
+        opt.app.chunk_bytes = 49'152;
+        opt.app.transfer_bytes_per_session = 3 * opt.app.chunk_bytes;
+      }
+
+      if (single_stack) {
+        // One engine, no differential: --stack picks which GRO path the
+        // workload rides (presto has no differential partner).
+        const ChaosEngineResult er = RunChaosEngineStack(opt, stack);
+        const bool ok = er.completed && er.violations == 0;
+        std::printf("%-12s %6llu  %-8s %10lld %10s %8llu %8s %8llu  %016llx\n",
+                    FaultFamilyName(family), static_cast<unsigned long long>(opt.seed),
+                    ok ? "ok" : "FAIL", static_cast<long long>(er.finish_time), "-",
+                    static_cast<unsigned long long>(er.faults.packets_in), "-",
+                    static_cast<unsigned long long>(er.flaps),
+                    static_cast<unsigned long long>(er.digest));
+        if (opt.app.enabled()) {
+          std::printf("    app[%s/%s]: %llu issued, %llu ok, %llu timeout, %llu aborted, "
+                      "%llu retries, %llu dedup\n",
+                      StackKindName(stack), AppWorkloadKindName(app_kind),
+                      static_cast<unsigned long long>(er.app.issued),
+                      static_cast<unsigned long long>(er.app.ok),
+                      static_cast<unsigned long long>(er.app.timeouts),
+                      static_cast<unsigned long long>(er.app.aborted),
+                      static_cast<unsigned long long>(er.app.retries),
+                      static_cast<unsigned long long>(er.app.duplicates_suppressed));
+        }
+        if (metrics) {
+          std::printf("%s", er.obs.metrics.ToTable().c_str());
+        }
+        if (!trace_path.empty()) {
+          all_events.insert(all_events.end(), er.obs.events.begin(), er.obs.events.end());
+          trace_dropped += er.obs.trace_dropped;
+        }
+        if (!ok) {
+          ++failures;
+          for (const std::string& m : er.violation_messages) {
+            std::printf("    %s: %s\n", er.engine.c_str(), m.c_str());
+          }
+        }
+        continue;
+      }
+
       const ChaosResult r = RunChaos(opt);
       const uint64_t fault_events = r.juggler.faults.drops + r.juggler.faults.duplicates +
                                     r.juggler.faults.corruptions +
@@ -124,6 +187,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(fault_events),
                   static_cast<unsigned long long>(r.juggler.flaps),
                   static_cast<unsigned long long>(r.juggler.digest));
+      if (opt.app.enabled()) {
+        std::printf("    app[%s]: %llu issued, %llu ok, %llu timeout, %llu aborted, "
+                    "%llu retries, %llu dedup\n",
+                    AppWorkloadKindName(app_kind),
+                    static_cast<unsigned long long>(r.juggler.app.issued),
+                    static_cast<unsigned long long>(r.juggler.app.ok),
+                    static_cast<unsigned long long>(r.juggler.app.timeouts),
+                    static_cast<unsigned long long>(r.juggler.app.aborted),
+                    static_cast<unsigned long long>(r.juggler.app.retries),
+                    static_cast<unsigned long long>(r.juggler.app.duplicates_suppressed));
+      }
       if (shards >= 1) {
         std::printf("    shards: %zu workers, %llu windows, %llu crossings;",
                     r.juggler.shard_workers,

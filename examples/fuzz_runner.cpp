@@ -55,10 +55,19 @@ int main(int argc, char** argv) {
       opt.attach_obs = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       opt.verbose = false;
+    } else if (std::strcmp(argv[i], "--app-prob") == 0) {
+      opt.limits.app_prob = std::atof(next("--app-prob"));
+      if (opt.limits.app_prob < 0.0 || opt.limits.app_prob > 1.0) {
+        std::fprintf(stderr, "--app-prob must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--plant-app-stale-token") == 0) {
+      opt.plant_app_stale_token = true;  // validates the app forensics path
     } else {
       std::fprintf(stderr,
                    "usage: %s [--specs N] [--seed S] [--timeout-ms T] [--budget-ms B]\n"
-                   "          [--out DIR] [--no-shrink] [--no-obs] [--quiet]\n",
+                   "          [--out DIR] [--app-prob P] [--plant-app-stale-token]\n"
+                   "          [--no-shrink] [--no-obs] [--quiet]\n",
                    argv[0]);
       return 2;
     }

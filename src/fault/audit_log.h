@@ -33,6 +33,20 @@ class AuditLog {
   const std::vector<std::string>& messages() const { return messages_; }
   bool clean() const { return violations_ == 0; }
 
+  // Fold another log's violations in, quietly (they were warned about when
+  // first recorded). Used to merge per-shard-domain logs after the workers
+  // join — checkers running on different domain threads write to separate
+  // logs so the shared one needs no locking.
+  void MergeFrom(const AuditLog& other) {
+    violations_ += other.violations_;
+    for (const std::string& m : other.messages_) {
+      if (messages_.size() >= kMaxMessages) {
+        break;
+      }
+      messages_.push_back(m);
+    }
+  }
+
   void Clear() {
     violations_ = 0;
     messages_.clear();

@@ -38,6 +38,19 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
     }
     ScenarioSpec spec = SampleScenarioSpec(&rng, options.limits);
     spec.plant_flush_skew = options.plant_flush_skew;
+    if (options.plant_app_stale_token) {
+      // Deterministic overrides, not samples: the stale-token bug only
+      // manifests when an attempt times out and its retry reaches the
+      // server, so pin link-flap pressure (2-12 ms blackholes) against an
+      // attempt timeout it always outlasts.
+      spec.family = FaultFamily::kLinkFlap;
+      spec.app.kind = AppWorkloadKind::kRpc;
+      spec.app.sessions = 2;
+      spec.app.requests_per_session = 6;
+      spec.app.response_bytes = 12'288;
+      spec.app.retry.attempt_timeout = Ms(2);
+      spec.app.plant_stale_token = true;
+    }
     ExecOptions exec;
     exec.timeout_ms = options.timeout_ms;
     const SpecOutcome outcome = ExecuteSpec(spec, exec);

@@ -36,6 +36,12 @@ struct FuzzOptions {
   // sampled spec, so the forensics pipeline can be validated end to end
   // against a bug with a known identity.
   bool plant_flush_skew = false;
+  // Test-only: give every sampled spec an RPC workload whose retries mint
+  // stale idempotency tokens (the app-layer planted defect). Specs are
+  // steered onto link-flap fault pressure with a short attempt timeout so
+  // retries actually fire — drop bursts alone are recovered by TCP fast
+  // retransmit before any sane app timeout expires.
+  bool plant_app_stale_token = false;
   // Attach a flight-recorder snapshot (metrics + trace) to each written
   // bundle by re-running the shrunk spec in-process with observability on.
   // Only done for cooperative failure kinds (invariant violation, digest

@@ -5,6 +5,58 @@
 #include "src/fault/fault_json.h"
 
 namespace juggler {
+namespace {
+
+// Every key ToJson() can emit; FromJson preserves anything else verbatim
+// in `extra` so future fields survive a round trip through this build.
+bool IsKnownSpecKey(const std::string& key) {
+  static const char* const kKnown[] = {
+      "seed",
+      "family",
+      "transfer_bytes",
+      "time_limit_ns",
+      "num_windows",
+      "link_rate_bps",
+      "base_delay_ns",
+      "reorder_delay_ns",
+      "int_coalesce_ns",
+      "inseq_timeout_ns",
+      "ofo_timeout_ns",
+      "max_flows",
+      "shards",
+      "shard_mailbox_capacity",
+      "check_shard_divergence",
+      "use_explicit_faults",
+      "faults",
+      "use_explicit_flaps",
+      "flaps",
+      "plant_flush_skew",
+      "plant_wedge",
+      "app_kind",
+      "app_sessions",
+      "app_requests_per_session",
+      "app_request_bytes",
+      "app_response_bytes",
+      "app_chunk_bytes",
+      "app_transfer_bytes",
+      "app_issue_interval_ns",
+      "app_attempt_timeout_ns",
+      "app_deadline_ns",
+      "app_max_attempts",
+      "app_backoff_base_ns",
+      "app_backoff_max_ns",
+      "app_jitter_pct",
+      "plant_stale_token",
+  };
+  for (const char* known : kKnown) {
+    if (key == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 ChaosOptions ScenarioSpec::ToChaosOptions() const {
   ChaosOptions opt;
@@ -28,6 +80,7 @@ ChaosOptions ScenarioSpec::ToChaosOptions() const {
   opt.use_explicit_flaps = use_explicit_flaps;
   opt.flap_override = flaps;
   opt.plant_flush_skew = plant_flush_skew;
+  opt.app = app;
   return opt;
 }
 
@@ -83,6 +136,32 @@ Json ScenarioSpec::ToJson() const {
   if (plant_wedge) {
     j.Set("plant_wedge", Json::Bool(true));
   }
+  // App-workload block only when one rides the run: specs written before
+  // the app layer existed re-serialize byte-identically.
+  if (app.enabled()) {
+    j.Set("app_kind", Json::Str(AppWorkloadKindName(app.kind)));
+    j.Set("app_sessions", Json::Uint(app.sessions));
+    j.Set("app_requests_per_session", Json::Uint(app.requests_per_session));
+    j.Set("app_request_bytes", Json::Uint(app.request_bytes));
+    j.Set("app_response_bytes", Json::Uint(app.response_bytes));
+    j.Set("app_chunk_bytes", Json::Uint(app.chunk_bytes));
+    j.Set("app_transfer_bytes", Json::Uint(app.transfer_bytes_per_session));
+    j.Set("app_issue_interval_ns", Json::Int(app.issue_interval));
+    j.Set("app_attempt_timeout_ns", Json::Int(app.retry.attempt_timeout));
+    j.Set("app_deadline_ns", Json::Int(app.retry.deadline));
+    j.Set("app_max_attempts", Json::Uint(app.retry.max_attempts));
+    j.Set("app_backoff_base_ns", Json::Int(app.retry.backoff_base));
+    j.Set("app_backoff_max_ns", Json::Int(app.retry.backoff_max));
+    j.Set("app_jitter_pct", Json::Uint(app.retry.jitter_pct));
+    if (app.plant_stale_token) {
+      j.Set("plant_stale_token", Json::Bool(true));
+    }
+  }
+  // Unknown members last, in the order the original document carried them.
+  // One normalization pass later, re-serialization is a fixed point.
+  for (const auto& member : extra.members()) {
+    j.Set(member.first, member.second);
+  }
   return j;
 }
 
@@ -134,6 +213,54 @@ bool ScenarioSpec::FromJson(const Json& json, ScenarioSpec* out, std::string* er
       return false;
     }
   }
+  // App workload: every field absent-tolerant (pre-app specs carry none).
+  std::string app_kind_name = AppWorkloadKindName(s.app.kind);
+  uint64_t app_sessions = s.app.sessions;
+  uint64_t app_requests = s.app.requests_per_session;
+  uint64_t app_max_attempts = s.app.retry.max_attempts;
+  uint64_t app_jitter_pct = s.app.retry.jitter_pct;
+  if (!json.GetString("app_kind", &app_kind_name) ||
+      !json.GetUint("app_sessions", &app_sessions) ||
+      !json.GetUint("app_requests_per_session", &app_requests) ||
+      !json.GetUint("app_request_bytes", &s.app.request_bytes) ||
+      !json.GetUint("app_response_bytes", &s.app.response_bytes) ||
+      !json.GetUint("app_chunk_bytes", &s.app.chunk_bytes) ||
+      !json.GetUint("app_transfer_bytes", &s.app.transfer_bytes_per_session) ||
+      !json.GetInt("app_issue_interval_ns", &s.app.issue_interval) ||
+      !json.GetInt("app_attempt_timeout_ns", &s.app.retry.attempt_timeout) ||
+      !json.GetInt("app_deadline_ns", &s.app.retry.deadline) ||
+      !json.GetUint("app_max_attempts", &app_max_attempts) ||
+      !json.GetInt("app_backoff_base_ns", &s.app.retry.backoff_base) ||
+      !json.GetInt("app_backoff_max_ns", &s.app.retry.backoff_max) ||
+      !json.GetUint("app_jitter_pct", &app_jitter_pct) ||
+      !json.GetBool("plant_stale_token", &s.app.plant_stale_token)) {
+    *error = "spec: app field with wrong type";
+    return false;
+  }
+  if (!ParseAppWorkloadKind(app_kind_name.c_str(), &s.app.kind)) {
+    *error = "spec: unknown app_kind \"" + app_kind_name + "\"";
+    return false;
+  }
+  s.app.sessions = static_cast<uint32_t>(app_sessions);
+  s.app.requests_per_session = static_cast<uint32_t>(app_requests);
+  s.app.retry.max_attempts = static_cast<uint32_t>(app_max_attempts);
+  s.app.retry.jitter_pct = static_cast<uint32_t>(app_jitter_pct);
+  if (s.app.enabled()) {
+    if (s.app.sessions == 0 || s.app.request_bytes == 0 || s.app.response_bytes == 0 ||
+        s.app.chunk_bytes == 0 || s.app.transfer_bytes_per_session == 0 ||
+        s.app.issue_interval < 0 || s.app.retry.attempt_timeout <= 0 ||
+        s.app.retry.deadline <= 0 || s.app.retry.max_attempts == 0 ||
+        s.app.retry.backoff_base < 0 || s.app.retry.backoff_max < s.app.retry.backoff_base ||
+        s.app.retry.jitter_pct > 100) {
+      *error = "spec: app parameter out of range";
+      return false;
+    }
+  }
+  for (const auto& member : json.members()) {
+    if (!IsKnownSpecKey(member.first)) {
+      s.extra.Set(member.first, member.second);
+    }
+  }
   *out = std::move(s);
   return true;
 }
@@ -160,6 +287,26 @@ ScenarioSpec SampleScenarioSpec(Rng* rng, const SampleLimits& limits) {
     s.shards = 1 + rng->NextBounded(4);  // sharded engine path
   }
   s.check_shard_divergence = rng->NextBool(limits.shard_divergence_prob);
+  // App-workload draws come from a stream derived from the spec's own seed,
+  // not from `rng`: adding (or later extending) them consumes nothing from
+  // the main stream, so every pre-app pinned fuzz seed still samples the
+  // exact same specs.
+  Rng app_rng(s.seed ^ 0xA02B'DBF7'BB3C'0A7ULL);
+  if (app_rng.NextBool(limits.app_prob)) {
+    AppWorkloadOptions& a = s.app;
+    a.kind = static_cast<AppWorkloadKind>(1 + app_rng.NextBounded(4));
+    a.sessions = 1 + static_cast<uint32_t>(app_rng.NextBounded(3));            // [1, 3]
+    a.requests_per_session = 2 + static_cast<uint32_t>(app_rng.NextBounded(8));  // [2, 9]
+    a.request_bytes = 128 + app_rng.NextBounded(897);        // [128, 1024]
+    a.response_bytes = 4'096 + app_rng.NextBounded(20'481);  // [4 KiB, 24 KiB]
+    a.chunk_bytes = 16'384 + app_rng.NextBounded(49'153);    // [16 KiB, 64 KiB]
+    // At most 3 chunks per session: sequential bulk sessions fit inside
+    // time_limit even if every chunk runs to its 160 ms deadline.
+    a.transfer_bytes_per_session = a.chunk_bytes * (1 + app_rng.NextBounded(3));
+    a.issue_interval = app_rng.NextInRange(Ms(1), Ms(3));
+    // Retry policy stays at the defaults: generous deadlines so a correct
+    // stack always completes — the fuzzer hunts bugs, not resource limits.
+  }
   return s;
 }
 

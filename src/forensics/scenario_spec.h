@@ -64,6 +64,17 @@ struct ScenarioSpec {
   bool plant_flush_skew = false;
   bool plant_wedge = false;
 
+  // Application workload riding the run (kind == kNone is the classic raw
+  // byte transfer). app.plant_stale_token is the app-layer planted defect:
+  // retries mint fresh idempotency tokens, so the server executes the same
+  // logical request twice and the auditor flags it.
+  AppWorkloadOptions app;
+
+  // Members this build did not recognize, preserved in document order and
+  // re-emitted verbatim by ToJson(): repro bundles written by newer builds
+  // keep replaying here without silently dropping their fields.
+  Json extra = Json::Object();
+
   // The ChaosOptions this spec pins (audit always on — the auditor is the
   // primary failure oracle).
   ChaosOptions ToChaosOptions() const;
@@ -90,6 +101,11 @@ struct SampleLimits {
   // Probability a sampled spec also runs the shard-divergence oracle
   // (roughly doubles that spec's cost).
   double shard_divergence_prob = 0.25;
+  // Probability a sampled spec carries an application workload instead of
+  // the raw transfer. App draws come from a stream derived from the spec's
+  // own seed, so raising or lowering this never shifts the non-app fields
+  // of any sampled spec.
+  double app_prob = 0.3;
 };
 
 // One random spec, every decision drawn from `rng`.

@@ -1,5 +1,6 @@
 #include "src/forensics/shrinker.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -189,6 +190,54 @@ class Shrinker {
         *spec = std::move(candidate);
         any = true;
       }
+    }
+    any |= ShrinkAppWorkload(spec);
+    return any;
+  }
+
+  // Halve the app workload toward one session issuing one request, and
+  // shrink the frame sizes — a minimal app-level repro is usually a single
+  // request whose retry misbehaves.
+  bool ShrinkAppWorkload(ScenarioSpec* spec) {
+    if (!spec->app.enabled()) {
+      return false;
+    }
+    bool any = false;
+    auto try_edit = [&](auto edit) {
+      if (Exhausted()) {
+        return;
+      }
+      ScenarioSpec candidate = *spec;
+      edit(&candidate.app);
+      if (StillFails(candidate)) {
+        *spec = std::move(candidate);
+        any = true;
+      }
+    };
+    if (spec->app.sessions > 1) {
+      try_edit([](AppWorkloadOptions* a) { a->sessions = a->sessions / 2; });
+    }
+    if (spec->app.requests_per_session > 1) {
+      try_edit([](AppWorkloadOptions* a) {
+        a->requests_per_session = a->requests_per_session / 2;
+      });
+    }
+    if (spec->app.response_bytes > 1'024) {
+      try_edit([](AppWorkloadOptions* a) { a->response_bytes = a->response_bytes / 2; });
+    }
+    if (spec->app.chunk_bytes > 8'192) {
+      try_edit([](AppWorkloadOptions* a) {
+        a->chunk_bytes = a->chunk_bytes / 2;
+        // Keep the chunk count, not the byte count: fewer bytes per chunk,
+        // same number of retryable units.
+        a->transfer_bytes_per_session = a->transfer_bytes_per_session / 2;
+      });
+    }
+    if (spec->app.transfer_bytes_per_session > spec->app.chunk_bytes) {
+      try_edit([](AppWorkloadOptions* a) {
+        a->transfer_bytes_per_session =
+            std::max(a->chunk_bytes, a->transfer_bytes_per_session / 2);
+      });
     }
     return any;
   }

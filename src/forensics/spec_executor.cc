@@ -49,6 +49,11 @@ Json SpecRunReport::ToJson() const {
   j.Set("exception", Json::Str(exception));
   j.Set("mailbox_hwm", Json::Uint(mailbox_hwm));
   j.Set("mailbox_overflows", Json::Uint(mailbox_overflows));
+  j.Set("app_issued", Json::Uint(app_issued));
+  j.Set("app_retries", Json::Uint(app_retries));
+  j.Set("app_timeouts", Json::Uint(app_timeouts));
+  j.Set("app_executions", Json::Uint(app_executions));
+  j.Set("app_duplicates_suppressed", Json::Uint(app_duplicates_suppressed));
   return j;
 }
 
@@ -67,10 +72,15 @@ bool SpecRunReport::FromJson(const Json& json, SpecRunReport* out, std::string* 
     *error = "report: field with wrong type";
     return false;
   }
-  // Optional (absent in pre-observability reports): GetUint leaves the
-  // zero default in place when the key is missing.
+  // Optional (absent in pre-observability / pre-app reports): GetUint
+  // leaves the zero default in place when the key is missing.
   if (!json.GetUint("mailbox_hwm", &r.mailbox_hwm) ||
-      !json.GetUint("mailbox_overflows", &r.mailbox_overflows)) {
+      !json.GetUint("mailbox_overflows", &r.mailbox_overflows) ||
+      !json.GetUint("app_issued", &r.app_issued) ||
+      !json.GetUint("app_retries", &r.app_retries) ||
+      !json.GetUint("app_timeouts", &r.app_timeouts) ||
+      !json.GetUint("app_executions", &r.app_executions) ||
+      !json.GetUint("app_duplicates_suppressed", &r.app_duplicates_suppressed)) {
     *error = "report: field with wrong type";
     return false;
   }
@@ -114,6 +124,11 @@ SpecRunReport RunSpecInProcess(const ScenarioSpec& spec) {
       }
     }
     rep.digest = r.juggler.digest;
+    rep.app_issued = r.juggler.app.issued;
+    rep.app_retries = r.juggler.app.retries;
+    rep.app_timeouts = r.juggler.app.timeouts;
+    rep.app_executions = r.juggler.app.executions;
+    rep.app_duplicates_suppressed = r.juggler.app.duplicates_suppressed;
     rep.mailbox_hwm = r.juggler.obs.metrics.GaugeValue("sim.mailbox_high_watermark", "");
     rep.mailbox_overflows =
         r.juggler.obs.metrics.CounterValue("sim.mailbox_overflow_drops", "");

@@ -40,6 +40,13 @@ struct SpecRunReport {
   // repro bundles carry it (zero when the spec ran the legacy engine).
   uint64_t mailbox_hwm = 0;
   uint64_t mailbox_overflows = 0;
+  // Application-workload evidence (all zero when the spec runs the classic
+  // raw transfer): how hard the retry/dedup machinery actually worked.
+  uint64_t app_issued = 0;
+  uint64_t app_retries = 0;
+  uint64_t app_timeouts = 0;
+  uint64_t app_executions = 0;
+  uint64_t app_duplicates_suppressed = 0;
 
   Json ToJson() const;
   static bool FromJson(const Json& json, SpecRunReport* out, std::string* error);

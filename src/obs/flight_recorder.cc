@@ -14,7 +14,23 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kNicCoalesceArm: return "nic_coalesce_arm";
     case TraceKind::kNapiBudget: return "napi_budget";
     case TraceKind::kFault: return "fault";
+    case TraceKind::kAppEvent: return "app";
     case TraceKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+const char* AppEventCodeName(int code) {
+  // Mirrors the kAppCode* constants in src/workload/app_resilience.h.
+  switch (code) {
+    case 0: return "issue";
+    case 1: return "retry";
+    case 2: return "ok";
+    case 3: return "timeout";
+    case 4: return "abort";
+    case 5: return "dup_response";
+    case 6: return "execute";
+    case 7: return "dup_suppressed";
   }
   return "unknown";
 }
@@ -105,6 +121,11 @@ Json EventArgs(const TraceEvent& e, const TraceNamer& namer) {
       args.Set("seq", Json::Uint(e.b));
       args.Set("payload_len", Json::Uint(e.c));
       break;
+    case TraceKind::kAppEvent:
+      args.Set("event", Json::Str(AppEventCodeName((int)e.a)));
+      args.Set("request", Json::Uint(e.b));
+      args.Set("token", Json::Uint(e.c));
+      break;
     case TraceKind::kKindCount:
       break;
   }
@@ -123,6 +144,8 @@ const char* EventCategory(TraceKind kind) {
       return "nic";
     case TraceKind::kFault:
       return "fault";
+    case TraceKind::kAppEvent:
+      return "app";
     case TraceKind::kKindCount:
       break;
   }

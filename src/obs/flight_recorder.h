@@ -29,7 +29,8 @@ enum class TraceKind : uint8_t {
   kNicCoalesceArm = 4, // a=queue index, b=coalesce delay ns
   kNapiBudget = 5,     // a=queue index, b=ring depth left over
   kFault = 6,          // a=fault code (see kFaultCodeName), b=packet seq, c=payload bytes
-  kKindCount = 7,
+  kAppEvent = 7,       // a=app code (see AppCodeName), b=request id, c=idempotency token
+  kKindCount = 8,
 };
 
 const char* TraceKindName(TraceKind kind);
@@ -42,6 +43,10 @@ inline constexpr int kFaultCodeTruncate = 3;
 inline constexpr int kFaultCodeDuplicate = 4;
 inline constexpr int kFaultCodeDelay = 5;
 const char* FaultCodeName(int code);
+
+// Decoder for TraceKind::kAppEvent `a` arguments; the codes themselves live
+// in src/workload/app_resilience.h (obs stays below the workload layer).
+const char* AppEventCodeName(int code);
 
 struct TraceEvent {
   TimeNs time = 0;

@@ -8,6 +8,7 @@
 #include "src/fault/juggler_auditor.h"
 #include "src/fault/link_flapper.h"
 #include "src/fault/stream_integrity.h"
+#include "src/scenario/app_traffic.h"
 #include "src/scenario/gro_factories.h"
 #include "src/scenario/topologies.h"
 #include "src/util/logging.h"
@@ -65,9 +66,22 @@ TimeNs NominalTransferTime(const ChaosOptions& opt) {
                              opt.link_rate_bps);
 }
 
+// The engine name a (stack, audit) combination reports and digests under.
+std::string EngineName(const ChaosOptions& opt, StackKind stack) {
+  switch (stack) {
+    case StackKind::kJuggler:
+      return opt.audit ? "juggler+audit" : "juggler";
+    case StackKind::kVanilla:
+      return "standard-gro";
+    case StackKind::kPresto:
+      return "presto-gro";
+  }
+  return "?";
+}
+
 // The NetFPGA options a chaos run uses, shared by the legacy and sharded
 // execution paths so both subject packets to the same fault schedule.
-NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, AuditLog* log,
+NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, StackKind stack, AuditLog* log,
                                    FlightRecorder* sender_rec, FlightRecorder* receiver_rec) {
   NetFpgaOptions nopt;
   nopt.link_rate_bps = opt.link_rate_bps;
@@ -85,11 +99,17 @@ NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, bool use_juggler, Au
   jcfg.ofo_timeout = opt.ofo_timeout;
   jcfg.max_flows = opt.max_flows;
   jcfg.debug_flush_accounting_skew = opt.plant_flush_skew;
-  if (use_juggler) {
-    nopt.receiver.gro_factory =
-        opt.audit ? MakeAuditedJugglerFactory(jcfg, log) : MakeJugglerFactory(jcfg);
-  } else {
-    nopt.receiver.gro_factory = MakeStandardGroFactory();
+  switch (stack) {
+    case StackKind::kJuggler:
+      nopt.receiver.gro_factory =
+          opt.audit ? MakeAuditedJugglerFactory(jcfg, log) : MakeJugglerFactory(jcfg);
+      break;
+    case StackKind::kVanilla:
+      nopt.receiver.gro_factory = MakeStandardGroFactory();
+      break;
+    case StackKind::kPresto:
+      nopt.receiver.gro_factory = MakePrestoGroFactory();
+      break;
   }
 
   nopt.faults = opt.use_explicit_faults ? opt.fault_override : DeriveChaosFaults(opt);
@@ -116,11 +136,14 @@ std::unique_ptr<LinkFlapper> MaybeStartFlapper(const ChaosOptions& opt, EventLoo
 // atomics). Everything published here is invariant across worker counts.
 template <typename Testbed>
 void PublishChaosMetrics(const Testbed* t, const EndpointPair* pair, LinkFlapper* flapper,
-                         bool use_juggler, MetricsRegistry* m) {
+                         StackKind stack, const AppHarness* app, MetricsRegistry* m) {
   PublishNicRxStats(t->sender->nic_rx()->stats(), "sender", m);
   PublishNicRxStats(t->receiver->nic_rx()->stats(), "receiver", m);
   PublishGroStats(t->receiver->nic_rx()->TotalGroStats(),
-                  use_juggler ? "juggler" : "baseline", m);
+                  stack == StackKind::kJuggler
+                      ? "juggler"
+                      : (stack == StackKind::kPresto ? "presto" : "baseline"),
+                  m);
   for (size_t q = 0; q < t->receiver->nic_rx()->num_queues(); ++q) {
     GroEngine* engine = t->receiver->nic_rx()->gro(q);
     Juggler* juggler = dynamic_cast<Juggler*>(engine);
@@ -150,21 +173,38 @@ void PublishChaosMetrics(const Testbed* t, const EndpointPair* pair, LinkFlapper
   if (flapper != nullptr) {
     m->AddCounter("net.flaps", "", flapper->flaps_started());
   }
+  if (app != nullptr) {
+    app->PublishMetrics(m);
+  }
 }
 
 // Result assembly + digest, identical for both execution paths (the testbed
-// types expose the same member names).
+// types expose the same member names). Exactly one of `integrity` (raw bulk
+// transfer) and `app` (application workload) is non-null; for app runs the
+// completion oracle is "no request was left hanging" and the auditor's
+// FinalCheck (inside AppHarness::Finish) stands in for the byte total.
 template <typename Testbed>
 void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlapper* flapper,
-               StreamIntegrityChecker* integrity, AuditLog* log, bool use_juggler,
-               TimeNs finish_time, ChaosEngineResult* r) {
+               StreamIntegrityChecker* integrity, AppHarness* app, AuditLog* log,
+               StackKind stack, TimeNs finish_time, ChaosEngineResult* r) {
   r->bytes_delivered = pair->b_to_a->bytes_delivered();
-  r->completed = r->bytes_delivered == opt.transfer_bytes;
   r->finish_time = finish_time;
-  integrity->FinalCheck();
-  if (!r->completed) {
-    log->Violation(r->engine, "transfer incomplete: " + std::to_string(r->bytes_delivered) +
-                                  " of " + std::to_string(opt.transfer_bytes) + " bytes");
+  if (app != nullptr) {
+    app->Finish();
+    r->app = app->totals();
+    r->completed = r->app.forced_terminal == 0;
+    if (!r->completed) {
+      log->Violation(r->engine, "requests hung at run end: " +
+                                    std::to_string(r->app.forced_terminal) + " of " +
+                                    std::to_string(r->app.issued) + " issued");
+    }
+  } else {
+    r->completed = r->bytes_delivered == opt.transfer_bytes;
+    integrity->FinalCheck();
+    if (!r->completed) {
+      log->Violation(r->engine, "transfer incomplete: " + std::to_string(r->bytes_delivered) +
+                                    " of " + std::to_string(opt.transfer_bytes) + " bytes");
+    }
   }
   r->violations = log->violations();
   r->violation_messages = log->messages();
@@ -175,7 +215,7 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
     r->flaps = flapper->flaps_started();
   }
   r->checksum_drops = t->receiver->nic_rx()->stats().checksum_drops;
-  if (use_juggler && opt.audit) {
+  if (stack == StackKind::kJuggler && opt.audit) {
     for (size_t q = 0; q < t->receiver->nic_rx()->num_queues(); ++q) {
       if (auto* auditor = dynamic_cast<JugglerAuditor*>(t->receiver->nic_rx()->gro(q))) {
         r->audits += auditor->audits();
@@ -203,6 +243,21 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
   d.Mix(snd.fast_retransmits);
   d.Mix(snd.rtos);
   d.Mix(snd.retransmitted_bytes);
+  // App counters join the digest only for app runs, so every historical
+  // raw-transfer digest stays bit-identical.
+  if (app != nullptr) {
+    d.Mix(r->app.issued);
+    d.Mix(r->app.ok);
+    d.Mix(r->app.timeouts);
+    d.Mix(r->app.aborted);
+    d.Mix(r->app.attempts);
+    d.Mix(r->app.retries);
+    d.Mix(r->app.duplicate_responses);
+    d.Mix(r->app.executions);
+    d.Mix(r->app.duplicates_suppressed);
+    d.Mix(r->app.forced_terminal);
+    d.Mix(app->frames_delivered());
+  }
   r->digest = d.h;
 
   // Observability snapshot last, strictly after the digest: metrics must
@@ -210,15 +265,15 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
   r->obs.metrics_enabled = opt.obs.metrics;
   r->obs.trace_enabled = opt.obs.trace;
   if (opt.obs.metrics) {
-    PublishChaosMetrics(t, pair, flapper, use_juggler, &r->obs.metrics);
+    PublishChaosMetrics(t, pair, flapper, stack, app, &r->obs.metrics);
   }
 }
 
 // Sharded execution: same scenario, same fault schedule, run on the
 // conservative-lookahead engine with up to opt.shards workers.
-ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler) {
+ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, StackKind stack) {
   ChaosEngineResult r;
-  r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
+  r.engine = EngineName(opt, stack);
 
   // One flight recorder per shard domain, so workers write without any
   // synchronization: sender-domain components (NIC, fault stage) record as
@@ -233,7 +288,7 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
   FlightRecorder* receiver_rec = opt.obs.trace ? recorders[1].get() : nullptr;
 
   AuditLog log;
-  NetFpgaOptions nopt = ChaosTestbedOptions(opt, use_juggler, &log, sender_rec, receiver_rec);
+  NetFpgaOptions nopt = ChaosTestbedOptions(opt, stack, &log, sender_rec, receiver_rec);
 
   // Declared before the testbed: the fabric's teardown releases packets
   // back into the engine's domain pools.
@@ -248,24 +303,43 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
   std::unique_ptr<LinkFlapper> flapper =
       MaybeStartFlapper(opt, &t.sender_domain->loop(), t.fwd_link);
 
-  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
-
-  StreamIntegrityChecker integrity(r.engine + "/stream", &log);
-  integrity.Attach(pair.b_to_a);
-  integrity.set_expected_bytes(opt.transfer_bytes);
-
-  pair.a_to_b->Send(opt.transfer_bytes);
-
+  std::unique_ptr<StreamIntegrityChecker> integrity;
+  std::unique_ptr<AppHarness> app;
+  EndpointPair pair;
   TimeNs now = 0;
-  while (now < opt.time_limit && pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
-    now += Ms(10);
-    engine.Run(now);
+  if (opt.app.enabled()) {
+    AppHarnessWiring wiring;
+    wiring.a = t.sender;
+    wiring.b = t.receiver;
+    wiring.a_loop = &t.sender_domain->loop();
+    wiring.b_loop = &t.receiver_domain->loop();
+    wiring.a_rec = sender_rec;
+    wiring.b_rec = receiver_rec;
+    wiring.log = &log;
+    wiring.name = r.engine;
+    app = std::make_unique<AppHarness>(opt.app, wiring, opt.seed * 1000003ULL + 7);
+    pair = app->primary();
+    app->Start();
+    while (now < opt.time_limit && !app->Done()) {
+      now += Ms(10);
+      engine.Run(now);
+    }
+  } else {
+    pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+    integrity = std::make_unique<StreamIntegrityChecker>(r.engine + "/stream", &log);
+    integrity->Attach(pair.b_to_a);
+    integrity->set_expected_bytes(opt.transfer_bytes);
+    pair.a_to_b->Send(opt.transfer_bytes);
+    while (now < opt.time_limit && pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
+      now += Ms(10);
+      engine.Run(now);
+    }
   }
   // Let the tail drain (final ACKs, pending GRO flushes, late duplicates).
   now += Ms(5);
   engine.Run(now);
 
-  FinishRun(opt, &t, &pair, flapper.get(), &integrity, &log, use_juggler, now, &r);
+  FinishRun(opt, &t, &pair, flapper.get(), integrity.get(), app.get(), &log, stack, now, &r);
 
   const ShardedEngineStats& es = engine.stats();
   r.shard_workers = es.workers;
@@ -295,11 +369,15 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, bool use_juggler)
 }  // namespace
 
 ChaosEngineResult RunChaosEngine(const ChaosOptions& opt, bool use_juggler) {
+  return RunChaosEngineStack(opt, use_juggler ? StackKind::kJuggler : StackKind::kVanilla);
+}
+
+ChaosEngineResult RunChaosEngineStack(const ChaosOptions& opt, StackKind stack) {
   if (opt.shards >= 1) {
-    return RunOneEngineSharded(opt, use_juggler);
+    return RunOneEngineSharded(opt, stack);
   }
   ChaosEngineResult r;
-  r.engine = use_juggler ? (opt.audit ? "juggler+audit" : "juggler") : "standard-gro";
+  r.engine = EngineName(opt, stack);
 
   // Legacy single-loop execution: one recorder (shard 0) covers everything.
   std::unique_ptr<FlightRecorder> recorder;
@@ -310,7 +388,7 @@ ChaosEngineResult RunChaosEngine(const ChaosOptions& opt, bool use_juggler) {
   SimWorld world;
   AuditLog log;
   NetFpgaOptions nopt =
-      ChaosTestbedOptions(opt, use_juggler, &log, recorder.get(), recorder.get());
+      ChaosTestbedOptions(opt, stack, &log, recorder.get(), recorder.get());
 
   NetFpgaTestbed t = BuildNetFpga(&world, nopt);
   if (t.fault != nullptr) {
@@ -320,22 +398,41 @@ ChaosEngineResult RunChaosEngine(const ChaosOptions& opt, bool use_juggler) {
   std::unique_ptr<LinkFlapper> flapper =
       MaybeStartFlapper(opt, &world.loop, t.fwd_link);
 
-  EndpointPair pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
-
-  StreamIntegrityChecker integrity(r.engine + "/stream", &log);
-  integrity.Attach(pair.b_to_a);
-  integrity.set_expected_bytes(opt.transfer_bytes);
-
-  pair.a_to_b->Send(opt.transfer_bytes);
-
-  while (world.loop.now() < opt.time_limit &&
-         pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
-    world.loop.RunUntil(world.loop.now() + Ms(10));
+  std::unique_ptr<StreamIntegrityChecker> integrity;
+  std::unique_ptr<AppHarness> app;
+  EndpointPair pair;
+  if (opt.app.enabled()) {
+    AppHarnessWiring wiring;
+    wiring.a = t.sender;
+    wiring.b = t.receiver;
+    wiring.a_loop = &world.loop;
+    wiring.b_loop = &world.loop;
+    wiring.a_rec = recorder.get();
+    wiring.b_rec = recorder.get();
+    wiring.log = &log;
+    wiring.name = r.engine;
+    app = std::make_unique<AppHarness>(opt.app, wiring, opt.seed * 1000003ULL + 7);
+    pair = app->primary();
+    app->Start();
+    while (world.loop.now() < opt.time_limit && !app->Done()) {
+      world.loop.RunUntil(world.loop.now() + Ms(10));
+    }
+  } else {
+    pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+    integrity = std::make_unique<StreamIntegrityChecker>(r.engine + "/stream", &log);
+    integrity->Attach(pair.b_to_a);
+    integrity->set_expected_bytes(opt.transfer_bytes);
+    pair.a_to_b->Send(opt.transfer_bytes);
+    while (world.loop.now() < opt.time_limit &&
+           pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
+      world.loop.RunUntil(world.loop.now() + Ms(10));
+    }
   }
   // Let the tail drain (final ACKs, pending GRO flushes, late duplicates).
   world.loop.RunUntil(world.loop.now() + Ms(5));
 
-  FinishRun(opt, &t, &pair, flapper.get(), &integrity, &log, use_juggler, world.loop.now(), &r);
+  FinishRun(opt, &t, &pair, flapper.get(), integrity.get(), app.get(), &log, stack,
+            world.loop.now(), &r);
   if (opt.obs.trace) {
     r.obs.trace_dropped = recorder->dropped();
     r.obs.events = MergeTraces({recorder.get()});
@@ -478,16 +575,50 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   ChaosResult result;
   result.juggler = RunChaosEngine(options, /*use_juggler=*/true);
   result.baseline = RunChaosEngine(options, /*use_juggler=*/false);
-  // The two engines must agree on the application byte stream. Totals plus
-  // each run's own integrity check (contiguity, exactly-once) make the
-  // comparison: identical totals of identical contiguous prefixes are the
-  // identical stream.
-  result.streams_match =
-      result.juggler.bytes_delivered == result.baseline.bytes_delivered;
+  if (options.app.enabled()) {
+    // App workloads put engine-dependent byte totals on the wire (retries
+    // are timing dependent), so the raw byte comparison does not apply; the
+    // per-engine auditor + hung-request oracles already ran.
+    result.streams_match = true;
+  } else {
+    // The two engines must agree on the application byte stream. Totals
+    // plus each run's own integrity check (contiguity, exactly-once) make
+    // the comparison: identical totals of identical contiguous prefixes are
+    // the identical stream.
+    result.streams_match =
+        result.juggler.bytes_delivered == result.baseline.bytes_delivered;
+  }
   result.ok = result.juggler.completed && result.baseline.completed &&
               result.juggler.violations == 0 && result.baseline.violations == 0 &&
               result.streams_match;
   return result;
+}
+
+const char* StackKindName(StackKind stack) {
+  switch (stack) {
+    case StackKind::kJuggler:
+      return "juggler";
+    case StackKind::kVanilla:
+      return "vanilla";
+    case StackKind::kPresto:
+      return "presto";
+  }
+  return "?";
+}
+
+bool ParseStackKind(const char* name, StackKind* out) {
+  static constexpr StackKind kParseable[] = {
+      StackKind::kJuggler,
+      StackKind::kVanilla,
+      StackKind::kPresto,
+  };
+  for (StackKind s : kParseable) {
+    if (std::strcmp(name, StackKindName(s)) == 0) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace juggler

@@ -27,6 +27,7 @@
 #include "src/fault/link_flapper.h"
 #include "src/obs/obs.h"
 #include "src/util/time.h"
+#include "src/workload/app_resilience.h"
 
 namespace juggler {
 
@@ -44,6 +45,19 @@ const char* FaultFamilyName(FaultFamily family);
 
 // Inverse of FaultFamilyName (accepts "mixed" too). False on unknown names.
 bool ParseFaultFamily(const char* name, FaultFamily* out);
+
+// Which receive stack a chaos run puts under test. kJuggler and kVanilla
+// are the historical pair RunChaos compares differentially; kPresto (the
+// linked-list Presto-paper GRO variant) is reachable through
+// RunChaosEngineStack for stack-matrix soaks.
+enum class StackKind : int {
+  kJuggler = 0,
+  kVanilla,
+  kPresto,
+};
+
+const char* StackKindName(StackKind stack);
+bool ParseStackKind(const char* name, StackKind* out);
 
 struct ChaosOptions {
   uint64_t seed = 1;
@@ -87,6 +101,12 @@ struct ChaosOptions {
   // JugglerConfig::debug_flush_accounting_skew). Forensics tests only.
   bool plant_flush_skew = false;
 
+  // Application workload riding the testbed. kNone (the default) keeps the
+  // classic raw bulk transfer; any other kind replaces it with the
+  // app_resilience traffic mix (AppHarness), whose auditor and hung-request
+  // check become the run's completion oracle.
+  AppWorkloadOptions app;
+
   // Observability: what this run collects (metrics snapshot, flight-recorder
   // trace). Off by default — the datapath then carries only the untaken
   // null-recorder branches.
@@ -104,6 +124,10 @@ struct ChaosEngineResult {
   uint64_t flaps = 0;           // link-flap family only
   uint64_t checksum_drops = 0;  // corrupted frames the NIC discarded
   uint64_t audits = 0;          // structural audits performed (Juggler only)
+  // Application counters (client + server merged); all zero for raw runs.
+  // For app runs these join the digest, and `completed` means "zero hung
+  // requests" instead of "all bytes delivered".
+  AppStats app;
   // FNV-1a over the run's observable counters: same seed + options must
   // reproduce this bit-identically.
   uint64_t digest = 0;
@@ -127,8 +151,12 @@ struct ChaosEngineResult {
 struct ChaosResult {
   ChaosEngineResult juggler;
   ChaosEngineResult baseline;
-  bool streams_match = false;  // both engines delivered the identical stream
-  bool ok = false;             // completed + zero violations + streams_match
+  // Both engines delivered the identical byte stream. Raw runs only: app
+  // workloads legitimately put different byte totals on the wire per engine
+  // (retry traffic is timing dependent), so for them this is vacuously true
+  // and the per-engine auditor + hung-request oracles carry the comparison.
+  bool streams_match = false;
+  bool ok = false;  // completed + zero violations + streams_match
 };
 
 // The seeded random fault schedule for `family`: `num_windows` windows
@@ -146,11 +174,17 @@ std::vector<FlapWindow> DeriveChaosFlaps(const ChaosOptions& options);
 
 ChaosResult RunChaos(const ChaosOptions& options);
 
-// One engine's half of RunChaos: the bulk transfer under the configured
-// fault schedule, with invariant checking, returning the full per-run
-// result (digest included). The forensics executor calls this directly so
-// it can run the same spec at different shard counts and diff the digests.
+// One engine's half of RunChaos: the bulk transfer (or app workload) under
+// the configured fault schedule, with invariant checking, returning the
+// full per-run result (digest included). The forensics executor calls this
+// directly so it can run the same spec at different shard counts and diff
+// the digests.
 ChaosEngineResult RunChaosEngine(const ChaosOptions& options, bool use_juggler);
+
+// Same run against an arbitrary stack (RunChaosEngine is the kJuggler /
+// kVanilla special case): the stack-matrix soaks drive
+// {juggler, vanilla, presto} x workload through this.
+ChaosEngineResult RunChaosEngineStack(const ChaosOptions& options, StackKind stack);
 
 // The TraceNamer that decodes chaos-run trace events with the repo's own
 // Table-2 flush-reason and §4 phase names (phase 4 decodes to "none").

@@ -286,6 +286,9 @@ void TcpEndpoint::OnRto() {
     return;  // nothing outstanding
   }
   ++snd_stats_.rtos;
+  if (in_rto_recovery_) {
+    ++snd_stats_.rto_backoffs;  // consecutive timeout: the backoff escalated
+  }
   ssthresh_ = std::max(InflightBytes() / 2, 2 * config_.mss);
   cwnd_ = config_.mss;
   in_recovery_ = false;
@@ -441,11 +444,18 @@ void PublishTcpStats(const TcpSenderStats& sender, const TcpReceiverStats& recei
   registry->AddCounter("tcp.retransmitted_bytes", label, sender.retransmitted_bytes);
   registry->AddCounter("tcp.spurious_retransmits", label,
                        sender.spurious_retransmits_detected);
+  registry->AddCounter("tcp.rto_backoffs", label, sender.rto_backoffs);
   registry->AddCounter("tcp.segments_in", label, receiver.segments_in);
   registry->AddCounter("tcp.ooo_segments_in", label, receiver.ooo_segments_in);
   registry->AddCounter("tcp.old_segments_in", label, receiver.old_segments_in);
   registry->AddCounter("tcp.acks_sent", label, receiver.acks_sent);
   registry->AddCounter("tcp.bytes_delivered", label, receiver.bytes_delivered);
+}
+
+void TcpEndpoint::PublishStats(const std::string& label, MetricsRegistry* registry) const {
+  PublishTcpStats(snd_stats_, rcv_stats_, label, registry);
+  registry->SetGauge("tcp.cwnd", label, cwnd_);
+  registry->SetGauge("tcp.srtt_us", label, static_cast<uint64_t>(ToUs(srtt_)));
 }
 
 }  // namespace juggler

@@ -74,6 +74,10 @@ struct TcpSenderStats {
   uint64_t rtos = 0;
   uint64_t retransmitted_bytes = 0;
   uint64_t spurious_retransmits_detected = 0;  // via DSACK
+  // RTOs that fired while a previous RTO's recovery was still in progress:
+  // each one doubled an already-backed-off timer (Karn exponential backoff
+  // escalating). The first timeout of an episode counts in `rtos` only.
+  uint64_t rto_backoffs = 0;
 };
 
 // Snapshot TCP endpoint stats into `registry` under `label` (the flow, e.g.
@@ -135,6 +139,13 @@ class TcpEndpoint {
   void OnSegment(const Segment& segment);
 
   const FiveTuple& local_flow() const { return local_; }
+
+  // Per-connection snapshot into `registry` under `label`: both halves'
+  // counters (PublishTcpStats) plus instantaneous gauges (cwnd, srtt). The
+  // app-resilience layer publishes one per connection so application-level
+  // retries can be correlated with this connection's transport retransmits.
+  void PublishStats(const std::string& label, MetricsRegistry* registry) const;
+
   const TcpSenderStats& sender_stats() const { return snd_stats_; }
   const TcpReceiverStats& receiver_stats() const { return rcv_stats_; }
   uint64_t bytes_acked() const { return snd_stats_.bytes_acked; }

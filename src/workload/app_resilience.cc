@@ -1,0 +1,425 @@
+#include "src/workload/app_resilience.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+const char* AppWorkloadKindName(AppWorkloadKind kind) {
+  switch (kind) {
+    case AppWorkloadKind::kNone:
+      return "none";
+    case AppWorkloadKind::kRpc:
+      return "rpc";
+    case AppWorkloadKind::kBulkTransfer:
+      return "bulk-transfer";
+    case AppWorkloadKind::kIncast:
+      return "incast";
+    case AppWorkloadKind::kReplication:
+      return "replication";
+  }
+  return "?";
+}
+
+bool ParseAppWorkloadKind(const char* name, AppWorkloadKind* out) {
+  static constexpr AppWorkloadKind kAll[] = {
+      AppWorkloadKind::kNone, AppWorkloadKind::kRpc, AppWorkloadKind::kBulkTransfer,
+      AppWorkloadKind::kIncast, AppWorkloadKind::kReplication,
+  };
+  for (AppWorkloadKind k : kAll) {
+    if (std::strcmp(name, AppWorkloadKindName(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kPending:
+      return "pending";
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kTimeout:
+      return "timeout";
+    case RequestOutcome::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+void AppStats::MergeFrom(const AppStats& other) {
+  issued += other.issued;
+  ok += other.ok;
+  timeouts += other.timeouts;
+  aborted += other.aborted;
+  attempts += other.attempts;
+  retries += other.retries;
+  duplicate_responses += other.duplicate_responses;
+  executions += other.executions;
+  duplicates_suppressed += other.duplicates_suppressed;
+  forced_terminal += other.forced_terminal;
+  latency_us.MergeFrom(other.latency_us);
+}
+
+void PublishAppStats(const AppStats& stats, const std::string& label,
+                     MetricsRegistry* registry) {
+  registry->AddCounter("app.issued", label, stats.issued);
+  registry->AddCounter("app.ok", label, stats.ok);
+  registry->AddCounter("app.timeouts", label, stats.timeouts);
+  registry->AddCounter("app.aborted", label, stats.aborted);
+  registry->AddCounter("app.attempts", label, stats.attempts);
+  registry->AddCounter("app.retries", label, stats.retries);
+  registry->AddCounter("app.duplicate_responses", label, stats.duplicate_responses);
+  registry->AddCounter("app.executions", label, stats.executions);
+  registry->AddCounter("app.duplicates_suppressed", label, stats.duplicates_suppressed);
+  registry->AddCounter("app.forced_terminal", label, stats.forced_terminal);
+  if (stats.latency_us.count > 0) {
+    registry->RecordHistogram("app.latency_us", label, stats.latency_us);
+  }
+}
+
+// ------------------------------------------------------- AppIntegrityAuditor
+
+void AppIntegrityAuditor::OnIssue(uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_[request_id];  // creates the pending record
+}
+
+void AppIntegrityAuditor::OnAttempt(uint64_t request_id, uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_[request_id].attempts;
+  token_owner_[token] = request_id;
+}
+
+bool AppIntegrityAuditor::OnExecute(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++executions_;
+  auto it = token_owner_.find(token);
+  if (it == token_owner_.end()) {
+    ++unknown_token_executions_;
+    return false;
+  }
+  ++requests_[it->second].executions;
+  return true;
+}
+
+void AppIntegrityAuditor::OnServerDuplicate(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)token;
+  ++duplicates_suppressed_;
+}
+
+void AppIntegrityAuditor::OnOutcome(uint64_t request_id, RequestOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_[request_id].outcome = outcome;
+}
+
+void AppIntegrityAuditor::OnDuplicateResponse(uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)request_id;
+  ++duplicate_responses_;
+}
+
+bool AppIntegrityAuditor::FinalCheck(AuditLog* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t before = log->violations();
+  if (unknown_token_executions_ > 0) {
+    log->Violation(name_, "executions for tokens no client sent: " +
+                              std::to_string(unknown_token_executions_));
+  }
+  for (const auto& [id, rec] : requests_) {
+    if (rec.outcome == RequestOutcome::kPending) {
+      log->Violation(name_, "request " + std::to_string(id) + " hung without terminal outcome");
+    }
+    if (rec.outcome == RequestOutcome::kOk && rec.executions == 0) {
+      log->Violation(name_, "request " + std::to_string(id) +
+                                " completed ok but never executed (at-least-once broken)");
+    }
+    if (rec.executions > 1) {
+      log->Violation(name_, "duplicate execution: request " + std::to_string(id) +
+                                " executed " + std::to_string(rec.executions) +
+                                " times (dedup missed a retry)");
+    }
+  }
+  return log->violations() == before;
+}
+
+uint64_t AppIntegrityAuditor::executions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executions_;
+}
+
+uint64_t AppIntegrityAuditor::duplicates_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_suppressed_;
+}
+
+// ------------------------------------------------------------------ AppServer
+
+AppServer::AppServer(const AppWorkloadOptions& options, FrameChannel* in, FrameChannel* out,
+                     AppIntegrityAuditor* auditor, FlightRecorder* recorder,
+                     const TimeNs* clock)
+    : options_(options), out_(out), auditor_(auditor), recorder_(recorder), clock_(clock) {
+  in->set_on_frame([this](const FrameHeader& h) { OnFrame(h); });
+}
+
+void AppServer::OnFrame(const FrameHeader& header) {
+  if (header.kind != FrameKind::kRequest && header.kind != FrameKind::kChunk) {
+    return;  // a response echoed back would be a wiring bug; ignore quietly
+  }
+  const bool is_chunk = header.kind == FrameKind::kChunk;
+  FrameHeader reply = header;
+  reply.kind = is_chunk ? FrameKind::kChunkAck : FrameKind::kResponse;
+  const uint64_t reply_bytes = is_chunk ? 128 : options_.response_bytes;
+  auto [it, fresh] = seen_.emplace(header.token, header);
+  if (fresh) {
+    auditor_->OnExecute(header.token);
+    ++stats_.executions;
+    if (recorder_ != nullptr) {
+      recorder_->Record(*clock_, TraceKind::kAppEvent, kAppCodeExecute, header.request_id,
+                        header.token);
+    }
+  } else {
+    // Idempotency token already executed: suppress, answer from the table.
+    auditor_->OnServerDuplicate(header.token);
+    ++stats_.duplicates_suppressed;
+    if (recorder_ != nullptr) {
+      recorder_->Record(*clock_, TraceKind::kAppEvent, kAppCodeDupSuppressed, header.request_id,
+                        header.token);
+    }
+  }
+  out_->SendFrame(std::max<uint64_t>(reply_bytes, 1), reply);
+}
+
+// ---------------------------------------------------------- AppClientSession
+
+AppClientSession::AppClientSession(EventLoop* loop, const AppWorkloadOptions& options,
+                                   uint32_t session_index, FrameChannel* out,
+                                   AppIntegrityAuditor* auditor, FlightRecorder* recorder,
+                                   uint64_t seed)
+    : loop_(loop),
+      options_(options),
+      session_(session_index),
+      out_(out),
+      auditor_(auditor),
+      recorder_(recorder),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + session_index + 1) {
+  total_to_issue_ = options_.RequestsPerSession();
+}
+
+void AppClientSession::Start() {
+  if (total_to_issue_ == 0) {
+    return;
+  }
+  if (sequential()) {
+    Issue(0);  // chunk 1..n-1 follow on completion (or group commit)
+    return;
+  }
+  for (uint64_t k = 0; k < total_to_issue_; ++k) {
+    // Incast: every session fires wave k at the same instant, producing the
+    // fan-in burst. RPC: sessions are staggered by a small prime offset.
+    const TimeNs stagger =
+        options_.kind == AppWorkloadKind::kIncast ? 0 : Us(137) * static_cast<int64_t>(session_);
+    loop_->Schedule(static_cast<TimeNs>(k) * options_.issue_interval + stagger,
+                    [this, k] { Issue(k); });
+  }
+}
+
+void AppClientSession::Issue(uint64_t index) {
+  if (degraded_) {
+    return;
+  }
+  Request req;
+  req.id = MakeRequestId(index);
+  req.chunk = index;
+  req.issue_time = loop_->now();
+  req.deadline_abs = req.issue_time + options_.retry.deadline;
+  auto [it, fresh] = requests_.emplace(req.id, req);
+  JUG_CHECK(fresh);
+  ++issued_count_;
+  ++stats_.issued;
+  auditor_->OnIssue(req.id);
+  Trace(kAppCodeIssue, it->second);
+  Attempt(&it->second);
+}
+
+void AppClientSession::Attempt(Request* req) {
+  ++req->attempt;
+  ++stats_.attempts;
+  if (req->attempt > 1) {
+    ++stats_.retries;
+    Trace(kAppCodeRetry, *req);
+  }
+  const uint64_t token = MakeToken(req->id, req->attempt);
+  auditor_->OnAttempt(req->id, token);
+  FrameHeader h;
+  h.token = token;
+  h.request_id = req->id;
+  h.session = session_;
+  h.kind = sequential() ? FrameKind::kChunk : FrameKind::kRequest;
+  h.attempt = req->attempt;
+  h.arg = req->chunk;
+  out_->SendFrame(std::max<uint64_t>(
+                      sequential() ? options_.chunk_bytes : options_.request_bytes, 1),
+                  h);
+  const TimeNs budget = std::min(options_.retry.attempt_timeout,
+                                 std::max<TimeNs>(req->deadline_abs - loop_->now(), 1));
+  const uint64_t id = req->id;
+  req->timer = loop_->Schedule(budget, [this, id] { OnAttemptTimeout(id); });
+}
+
+void AppClientSession::OnAttemptTimeout(uint64_t request_id) {
+  auto it = requests_.find(request_id);
+  if (it == requests_.end() || it->second.outcome != RequestOutcome::kPending) {
+    return;
+  }
+  Request* req = &it->second;
+  req->timer = kInvalidTimerId;
+  if (loop_->now() >= req->deadline_abs) {
+    Terminal(req, RequestOutcome::kTimeout);
+    return;
+  }
+  if (req->attempt >= options_.retry.max_attempts) {
+    Terminal(req, RequestOutcome::kAborted);
+    return;
+  }
+  // Exponential backoff with seeded, deterministic jitter, then retry —
+  // capped so a retry never fires past the deadline (the deadline check
+  // above converts that case into an explicit Timeout).
+  TimeNs backoff = options_.retry.backoff_base;
+  for (uint32_t i = 1; i + 1 < req->attempt && backoff < options_.retry.backoff_max; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.retry.backoff_max);
+  if (options_.retry.jitter_pct > 0) {
+    const double u = rng_.NextDouble() * 2.0 - 1.0;  // [-1, 1)
+    backoff += static_cast<TimeNs>(static_cast<double>(backoff) *
+                                   (static_cast<double>(options_.retry.jitter_pct) / 100.0) * u);
+  }
+  backoff = std::max<TimeNs>(backoff, Us(1));
+  const TimeNs fire_at = std::min(loop_->now() + backoff, req->deadline_abs);
+  const uint64_t id = req->id;
+  req->timer = loop_->ScheduleAt(fire_at, [this, id] {
+    auto iter = requests_.find(id);
+    if (iter == requests_.end() || iter->second.outcome != RequestOutcome::kPending) {
+      return;
+    }
+    if (loop_->now() >= iter->second.deadline_abs) {
+      iter->second.timer = kInvalidTimerId;
+      Terminal(&iter->second, RequestOutcome::kTimeout);
+      return;
+    }
+    Attempt(&iter->second);
+  });
+}
+
+void AppClientSession::OnResponseFrame(const FrameHeader& header) {
+  auto it = requests_.find(header.request_id);
+  if (it == requests_.end()) {
+    return;  // response for a request another session owns: wiring bug, ignore
+  }
+  Request* req = &it->second;
+  if (req->outcome != RequestOutcome::kPending) {
+    // The server re-answered a suppressed duplicate, or the response beat a
+    // deadline by arriving after the request went terminal. Graceful: count
+    // it, never resurrect the request.
+    ++stats_.duplicate_responses;
+    auditor_->OnDuplicateResponse(req->id);
+    Trace(kAppCodeDupResponse, *req);
+    return;
+  }
+  stats_.latency_us.Record(static_cast<uint64_t>(ToUs(loop_->now() - req->issue_time)));
+  Terminal(req, RequestOutcome::kOk);
+}
+
+void AppClientSession::Terminal(Request* req, RequestOutcome outcome) {
+  JUG_CHECK(req->outcome == RequestOutcome::kPending);
+  req->outcome = outcome;
+  if (req->timer != kInvalidTimerId) {
+    loop_->Cancel(req->timer);
+    req->timer = kInvalidTimerId;
+  }
+  auditor_->OnOutcome(req->id, outcome);
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      ++stats_.ok;
+      Trace(kAppCodeOk, *req);
+      break;
+    case RequestOutcome::kTimeout:
+      ++stats_.timeouts;
+      Trace(kAppCodeTimeout, *req);
+      break;
+    case RequestOutcome::kAborted:
+      ++stats_.aborted;
+      Trace(kAppCodeAbort, *req);
+      break;
+    case RequestOutcome::kPending:
+      break;
+  }
+  if (!sequential()) {
+    return;
+  }
+  const bool chunk_ok = outcome == RequestOutcome::kOk;
+  if (options_.kind == AppWorkloadKind::kReplication) {
+    if (!chunk_ok) {
+      degraded_ = true;
+    }
+    if (on_chunk_done_) {
+      on_chunk_done_(req->chunk, chunk_ok);
+    }
+    return;
+  }
+  // Plain bulk transfer: resume with the next chunk, or degrade — the
+  // remaining chunks are abandoned explicitly rather than retried forever.
+  if (!chunk_ok) {
+    degraded_ = true;
+    return;
+  }
+  if (issued_count_ < total_to_issue_) {
+    Issue(req->chunk + 1);
+  }
+}
+
+void AppClientSession::ReleaseChunk(uint64_t chunk) {
+  if (degraded_) {
+    return;
+  }
+  if (chunk + 1 < total_to_issue_ && issued_count_ == chunk + 1) {
+    Issue(chunk + 1);
+  }
+}
+
+bool AppClientSession::Done() const {
+  for (const auto& [id, req] : requests_) {
+    if (req.outcome == RequestOutcome::kPending) {
+      return false;
+    }
+  }
+  if (degraded_) {
+    return true;  // issuance abandoned; everything issued is terminal
+  }
+  return issued_count_ == total_to_issue_;
+}
+
+void AppClientSession::ForceFinish() {
+  degraded_ = true;
+  for (auto& [id, req] : requests_) {
+    if (req.outcome == RequestOutcome::kPending) {
+      ++stats_.forced_terminal;
+      Terminal(&req, RequestOutcome::kAborted);
+    }
+  }
+}
+
+void AppClientSession::Trace(int code, const Request& req) {
+  if (recorder_ != nullptr) {
+    recorder_->Record(loop_->now(), TraceKind::kAppEvent, static_cast<uint64_t>(code), req.id,
+                      MakeToken(req.id, std::max(req.attempt, 1u)));
+  }
+}
+
+}  // namespace juggler

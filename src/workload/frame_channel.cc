@@ -1,0 +1,43 @@
+#include "src/workload/frame_channel.h"
+
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace juggler {
+
+void FrameChannel::SendFrame(uint64_t bytes, FrameHeader header) {
+  JUG_CHECK(bytes >= 1);  // a zero-byte frame has no position in the stream
+  header.bytes = bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    enqueued_bytes_ += bytes;
+    ledger_.push_back(Pending{enqueued_bytes_, header});
+    ++frames_sent_;
+  }
+  if (sender_ != nullptr) {
+    sender_->Send(bytes);
+  }
+}
+
+void FrameChannel::OnDeliverTotal(uint64_t total_bytes) {
+  // Pop under the lock, invoke outside it: on_frame may send a response
+  // through another channel, and lock-free callbacks keep the two sides'
+  // mutexes from ever nesting.
+  std::vector<FrameHeader> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!ledger_.empty() && ledger_.front().end_offset <= total_bytes) {
+      done.push_back(ledger_.front().header);
+      ledger_.pop_front();
+      ++frames_delivered_;
+    }
+  }
+  for (const FrameHeader& h : done) {
+    if (on_frame_) {
+      on_frame_(h);
+    }
+  }
+}
+
+}  // namespace juggler

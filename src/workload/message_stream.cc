@@ -9,13 +9,32 @@ MessageStream::MessageStream(EventLoop* loop, TcpEndpoint* sender, TcpEndpoint* 
 }
 
 void MessageStream::SendMessage(uint64_t bytes) {
+  if (closed_) {
+    return;
+  }
+  if (bytes == 0) {
+    // Nothing rides the wire, so no delivery callback will ever advance past
+    // this message's (empty) extent: complete it on the spot.
+    ++sent_;
+    ++completed_;
+    if (latency_us_ != nullptr) {
+      latency_us_->Add(0.0);
+    }
+    return;
+  }
   enqueued_bytes_ += bytes;
   pending_.push_back(Pending{enqueued_bytes_, loop_->now()});
   ++sent_;
   sender_->Send(bytes);
 }
 
+void MessageStream::Close() { closed_ = true; }
+
 void MessageStream::OnDelivered(uint64_t total_bytes) {
+  if (closed_) {
+    ++late_deliveries_;
+    return;
+  }
   while (!pending_.empty() && pending_.front().end_offset <= total_bytes) {
     if (latency_us_ != nullptr) {
       latency_us_->Add(ToUs(loop_->now() - pending_.front().enqueue_time));

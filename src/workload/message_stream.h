@@ -5,6 +5,11 @@
 // in-order at the receiver. MessageStream tracks message boundaries as byte
 // offsets in the stream (deterministic, since TCP delivers in order) and
 // samples completion latency.
+//
+// Edge cases the chaos/fuzz layers exercise: zero-length messages complete
+// immediately (nothing rides the wire, so no delivery can mark them), and a
+// Close()d stream ignores — but counts — deliveries that arrive afterwards
+// (retransmissions draining after the application went away).
 
 #ifndef JUGGLER_SRC_WORKLOAD_MESSAGE_STREAM_H_
 #define JUGGLER_SRC_WORKLOAD_MESSAGE_STREAM_H_
@@ -25,12 +30,21 @@ class MessageStream {
   MessageStream(EventLoop* loop, TcpEndpoint* sender, TcpEndpoint* receiver,
                 PercentileSampler* latency_us);
 
+  // Zero-length messages complete immediately with zero latency.
   void SendMessage(uint64_t bytes);
+
+  // The application side is done: further deliveries no longer complete
+  // messages (they are counted as late), and sends are dropped. The stream
+  // stays attached to the endpoint so the late deliveries are observable.
+  void Close();
 
   uint64_t sent() const { return sent_; }
   uint64_t completed() const { return completed_; }
   // Messages enqueued but not yet fully delivered.
   uint64_t outstanding() const { return sent_ - completed_; }
+  bool closed() const { return closed_; }
+  // Delivery callbacks that arrived after Close().
+  uint64_t late_deliveries() const { return late_deliveries_; }
 
  private:
   void OnDelivered(uint64_t total_bytes);
@@ -47,6 +61,8 @@ class MessageStream {
   uint64_t enqueued_bytes_ = 0;
   uint64_t sent_ = 0;
   uint64_t completed_ = 0;
+  bool closed_ = false;
+  uint64_t late_deliveries_ = 0;
 };
 
 }  // namespace juggler

@@ -109,6 +109,76 @@ TEST(ScenarioSpecTest, FromJsonRejectsBadDocuments) {
   Json bad_kind = good.ToJson();
   bad_kind.Set("seed", Json::Str("one"));
   EXPECT_FALSE(ScenarioSpec::FromJson(bad_kind, &out, &error));
+
+  ScenarioSpec with_app;
+  with_app.app.kind = AppWorkloadKind::kRpc;
+  Json bad_app_kind = with_app.ToJson();
+  bad_app_kind.Set("app_kind", Json::Str("nope"));
+  EXPECT_FALSE(ScenarioSpec::FromJson(bad_app_kind, &out, &error));
+
+  Json bad_app_range = with_app.ToJson();
+  bad_app_range.Set("app_max_attempts", Json::Uint(0));
+  EXPECT_FALSE(ScenarioSpec::FromJson(bad_app_range, &out, &error));
+}
+
+// App-workload fields ride the spec only when a workload is enabled:
+// pre-app specs (and raw-transfer specs) serialize without any app_* key,
+// and enabled workloads round-trip byte-stably including the planted flag.
+TEST(ScenarioSpecTest, AppWorkloadFieldsRoundTrip) {
+  ScenarioSpec raw;
+  EXPECT_EQ(raw.ToJson().Dump().find("app_"), std::string::npos);
+
+  ScenarioSpec spec;
+  spec.app.kind = AppWorkloadKind::kBulkTransfer;
+  spec.app.sessions = 3;
+  spec.app.requests_per_session = 7;
+  spec.app.response_bytes = 9'999;
+  spec.app.chunk_bytes = 32'768;
+  spec.app.transfer_bytes_per_session = 3 * 32'768;
+  spec.app.issue_interval = Ms(3);
+  spec.app.retry.attempt_timeout = Ms(3);
+  spec.app.retry.max_attempts = 4;
+  spec.app.retry.jitter_pct = 35;
+  spec.app.plant_stale_token = true;
+
+  const std::string text = spec.ToJson().Dump(2);
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(Json::Parse(text, &parsed, &error)) << error;
+  ScenarioSpec back;
+  ASSERT_TRUE(ScenarioSpec::FromJson(parsed, &back, &error)) << error;
+  EXPECT_EQ(back.app.kind, AppWorkloadKind::kBulkTransfer);
+  EXPECT_EQ(back.app.sessions, 3u);
+  EXPECT_EQ(back.app.retry.max_attempts, 4u);
+  EXPECT_TRUE(back.app.plant_stale_token);
+  EXPECT_EQ(back.ToJson().Dump(2), text);
+}
+
+// Unknown-field safety: members this build does not recognize survive a
+// parse/serialize round trip verbatim, and re-serialization is a fixed
+// point — so bundles written by newer builds keep replaying here, and
+// re-writing one never churns its bytes.
+TEST(ScenarioSpecTest, UnknownFieldsArePreservedByteStably) {
+  ScenarioSpec spec;
+  spec.app.kind = AppWorkloadKind::kRpc;
+  Json doc = spec.ToJson();
+  doc.Set("future_knob", Json::Uint(7));
+  Json future_obj = Json::Object();
+  future_obj.Set("nested", Json::Str("opaque"));
+  doc.Set("future_obj", std::move(future_obj));
+
+  ScenarioSpec back;
+  std::string error;
+  ASSERT_TRUE(ScenarioSpec::FromJson(doc, &back, &error)) << error;
+  const std::string once = back.ToJson().Dump(2);
+  EXPECT_NE(once.find("future_knob"), std::string::npos);
+  EXPECT_NE(once.find("\"nested\""), std::string::npos);
+
+  Json reparsed;
+  ScenarioSpec again;
+  ASSERT_TRUE(Json::Parse(once, &reparsed, &error)) << error;
+  ASSERT_TRUE(ScenarioSpec::FromJson(reparsed, &again, &error)) << error;
+  EXPECT_EQ(again.ToJson().Dump(2), once);
 }
 
 // ----------------------------------------------------------- Signatures --

@@ -33,5 +33,32 @@ TEST(FuzzSmokeTest, SeededSweepIsClean) {
   EXPECT_EQ(report.failures, 0);
 }
 
+// Same contract with the application layer riding every spec: app_prob 1.0
+// forces an RPC / bulk-transfer / incast / replication workload (drawn from
+// each spec's seed) onto every sampled scenario. Zero findings means the
+// retry/deadline/backoff state machines degrade gracefully — no hung
+// requests, no auditor violations — under everything the sampler throws.
+TEST(FuzzSmokeTest, SeededAppWorkloadSweepIsClean) {
+  FuzzOptions opt;
+  opt.seed = 20260808;
+  opt.num_specs = 8;
+  opt.timeout_ms = 45'000;
+  opt.limits.app_prob = 1.0;
+  opt.shrink = false;
+  opt.verbose = false;
+
+  const FuzzReport report = RunFuzz(opt);
+  EXPECT_EQ(report.specs_run, 8);
+  for (const FuzzFinding& f : report.findings) {
+    ReproBundle bundle;
+    bundle.spec = f.spec;
+    bundle.signature = f.signature;
+    ADD_FAILURE() << "unexpected " << SignatureKindName(f.signature.kind) << ": "
+                  << f.signature.detail << "\nrepro bundle:\n"
+                  << bundle.ToJson().Dump(2);
+  }
+  EXPECT_EQ(report.failures, 0);
+}
+
 }  // namespace
 }  // namespace juggler

@@ -141,6 +141,80 @@ TEST(MessageStreamTest, BackToBackMessagesCompleteInOrder) {
   EXPECT_EQ(stream.outstanding(), 1u);
 }
 
+// A zero-length message occupies no extent in the byte stream, so no
+// delivery callback can ever sweep past it: it must complete on the spot,
+// without perturbing the completion order of real messages around it.
+TEST(MessageStreamTest, ZeroLengthMessageCompletesImmediately) {
+  StubConnection c;
+  StubConnection peer;
+  PercentileSampler lat;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), &lat);
+  stream.SendMessage(1'000);
+  stream.SendMessage(0);
+  EXPECT_EQ(stream.sent(), 2u);
+  EXPECT_EQ(stream.completed(), 1u);  // the empty one, instantly
+  EXPECT_EQ(lat.count(), 1u);
+  Segment s;
+  s.flow = TestFlow();
+  s.seq = 0;
+  s.payload_len = 1'000;
+  s.mtu_count = 1;
+  s.flags = kFlagAck;
+  peer.endpoint->OnSegment(s);
+  EXPECT_EQ(stream.completed(), 2u);
+  EXPECT_EQ(stream.outstanding(), 0u);
+}
+
+// A message boundary split across two GRO flushes arriving in reverse
+// order: the second half lands first (out of order, no in-order progress),
+// then the first half arrives and one delivery callback sweeps the whole
+// message. Completion must fire exactly once, at the sweep.
+TEST(MessageStreamTest, BoundarySplitAcrossReorderedFlushes) {
+  StubConnection c;
+  StubConnection peer;
+  PercentileSampler lat;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), &lat);
+  stream.SendMessage(10'000);
+  Segment tail;
+  tail.flow = TestFlow();
+  tail.seq = 5'000;  // second half first: buffered out of order
+  tail.payload_len = 5'000;
+  tail.mtu_count = 4;
+  tail.flags = kFlagAck;
+  peer.endpoint->OnSegment(tail);
+  EXPECT_EQ(stream.completed(), 0u);
+  Segment head = tail;
+  head.seq = 0;  // fills the gap; in-order point jumps to 10'000
+  peer.endpoint->OnSegment(head);
+  EXPECT_EQ(stream.completed(), 1u);
+  EXPECT_EQ(lat.count(), 1u);
+}
+
+// After Close() the application is gone: retransmissions still draining
+// out of the network must not complete messages, only be counted, and
+// further sends are dropped.
+TEST(MessageStreamTest, DeliveryAfterCloseIsLateNotCompleted) {
+  StubConnection c;
+  StubConnection peer;
+  PercentileSampler lat;
+  MessageStream stream(&c.loop, c.endpoint.get(), peer.endpoint.get(), &lat);
+  stream.SendMessage(2'000);
+  stream.Close();
+  EXPECT_TRUE(stream.closed());
+  stream.SendMessage(3'000);  // dropped, not queued
+  EXPECT_EQ(stream.sent(), 1u);
+  Segment s;
+  s.flow = TestFlow();
+  s.seq = 0;
+  s.payload_len = 2'000;
+  s.mtu_count = 2;
+  s.flags = kFlagAck;
+  peer.endpoint->OnSegment(s);
+  EXPECT_EQ(stream.completed(), 0u);
+  EXPECT_GE(stream.late_deliveries(), 1u);
+  EXPECT_EQ(lat.count(), 0u);
+}
+
 TEST(RpcGeneratorTest, PoissonRateIsApproximatelyRight) {
   StubConnection c;
   StubConnection peer;
