@@ -1,0 +1,212 @@
+// perf_scale: flow-count scaling of the GRO datapath, with tracked output.
+//
+// perf_core measures the single-flow fast path; this bench answers the
+// orthogonal question the flow-table rebuild was aimed at — what happens
+// when the table is big. For each flow population (10k and 100k; smaller in
+// --smoke) it drives in-order traffic round-robin across every flow in
+// NAPI-budget poll rounds (the worst realistic locality: every packet is a
+// different flow, so every lookup starts cold) and reports
+//
+//   * packets/sec through Juggler at that population, and
+//   * resident bytes per flow: the flow table's own memory (slot array +
+//     record slabs) divided by the population — the §3.3 memory-exhaustion
+//     number, now for an engine that actually bounds it.
+//
+// Results append to BENCH_core.json as a "flow_scale" section (the existing
+// perf_core sections are preserved), so one file still tells the whole
+// perf story.
+//
+// Modes:
+//   perf_scale [--smoke] [--out PATH]   run, merge into BENCH_core.json
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/juggler.h"
+#include "src/packet/packet.h"
+#include "src/util/json.h"
+#include "src/util/time.h"
+
+namespace juggler {
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+struct BenchGroHost : GroHost {
+  std::vector<Segment> delivered;
+  TimeNs armed = GroEngine::kNoTimer;
+
+  void GroDeliver(Segment s) override { delivered.push_back(std::move(s)); }
+  void GroArmTimer(TimeNs when) override { armed = when; }
+};
+
+struct ScalePoint {
+  size_t flows = 0;
+  double packets_per_sec = 0;
+  double bytes_per_flow = 0;
+};
+
+ScalePoint MeasureAtFlowCount(size_t flows, uint64_t total_packets) {
+  CpuCostModel costs;
+  JugglerConfig config;
+  config.max_flows = flows;  // population fits: no eviction mid-measurement
+  Juggler engine(&costs, config);
+
+  TimeNs now = 0;
+  BenchGroHost host;
+  GroEngine::Context ctx;
+  ctx.now = &now;
+  ctx.host = &host;
+  engine.set_context(ctx);
+
+  // Distinct five-tuples spread across source addresses and ports, plus the
+  // per-flow next sequence number, kept in flow order for the round-robin.
+  std::vector<FiveTuple> tuples(flows);
+  std::vector<Seq> next_seq(flows, 0);
+  for (size_t i = 0; i < flows; ++i) {
+    tuples[i].src_ip = 0x0a000000u + static_cast<uint32_t>(i / 40'000);
+    tuples[i].dst_ip = 0x0a800001;
+    tuples[i].src_port = static_cast<uint16_t>(1024 + i % 40'000);
+    tuples[i].dst_port = 443;
+  }
+
+  PacketFactory factory;
+  constexpr uint64_t kBudget = 64;  // NAPI budget per poll round
+  std::vector<PacketPtr> batch;
+  batch.reserve(kBudget);
+
+  size_t cursor = 0;
+  uint64_t done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < total_packets) {
+    batch.clear();
+    for (uint64_t j = 0; j < kBudget; ++j) {
+      const size_t f = cursor;
+      cursor = cursor + 1 == flows ? 0 : cursor + 1;
+      PacketPtr p = factory.Make();
+      p->flow = tuples[f];
+      p->seq = next_seq[f];
+      p->payload_len = kMss;
+      p->flags = kFlagAck;
+      p->nic_rx_time = now;
+      next_seq[f] += kMss;
+      batch.push_back(std::move(p));
+    }
+    engine.ReceiveBatch(batch.data(), batch.size());
+    done += kBudget;
+    engine.PollComplete();
+    now += Us(5);
+    if (host.armed != GroEngine::kNoTimer && host.armed <= now) {
+      host.armed = GroEngine::kNoTimer;
+      engine.OnTimer();
+    }
+    host.delivered.clear();
+  }
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0);
+
+  ScalePoint point;
+  point.flows = flows;
+  point.packets_per_sec = static_cast<double>(done) / secs;
+  point.bytes_per_flow = static_cast<double>(engine.flow_table_resident_bytes()) /
+                         static_cast<double>(engine.flow_table_size());
+  return point;
+}
+
+// Merges the measured points into `path` under a "flow_scale" key. The rest
+// of the document (perf_core's sections) is preserved; a missing or
+// malformed file becomes a fresh object so the bench works standalone.
+bool MergeIntoJson(const std::vector<ScalePoint>& points, const std::string& path) {
+  Json doc = Json::Object();
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      std::string error;
+      if (!Json::Parse(ss.str(), &doc, &error)) {
+        std::fprintf(stderr, "perf_scale: %s unparseable (%s), rewriting\n", path.c_str(),
+                     error.c_str());
+        doc = Json::Object();
+      }
+    }
+  }
+  if (doc.Find("bench") == nullptr) {
+    doc.Set("bench", Json::Str("perf_core"));
+  }
+  Json scale = Json::Array();
+  for (const ScalePoint& p : points) {
+    Json entry = Json::Object();
+    entry.Set("flows", Json::Uint(p.flows));
+    entry.Set("packets_per_sec", Json::Double(p.packets_per_sec));
+    entry.Set("resident_bytes_per_flow", Json::Double(p.bytes_per_flow));
+    scale.Push(std::move(entry));
+  }
+  doc.Set("flow_scale", std::move(scale));
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "perf_scale: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << doc.Dump(2) << "\n";
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_scale [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<size_t> populations =
+      smoke ? std::vector<size_t>{1'000, 10'000} : std::vector<size_t>{10'000, 100'000};
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("=== perf_scale ===\n%s\n\n",
+              smoke ? "(smoke sizes)" : "(full sizes, best of 3)");
+  std::printf("%12s %18s %22s\n", "flows", "packets/sec", "resident bytes/flow");
+
+  std::vector<ScalePoint> points;
+  for (size_t flows : populations) {
+    // Enough rounds that every flow is touched repeatedly once the table is
+    // fully populated (at least ~8 packets per flow, floor of 512k total).
+    const uint64_t total = std::max<uint64_t>(8 * flows, smoke ? 128'000 : 512'000);
+    ScalePoint best;
+    for (int r = 0; r < reps; ++r) {
+      const ScalePoint cur = MeasureAtFlowCount(flows, total);
+      if (cur.packets_per_sec > best.packets_per_sec) {
+        best = cur;
+      }
+    }
+    std::printf("%12zu %18.0f %22.1f\n", best.flows, best.packets_per_sec,
+                best.bytes_per_flow);
+    points.push_back(best);
+  }
+
+  if (!MergeIntoJson(points, out_path)) {
+    return 1;
+  }
+  std::printf("\nmerged flow_scale into %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace juggler
+
+int main(int argc, char** argv) { return juggler::Main(argc, argv); }

@@ -29,11 +29,10 @@
 #define JUGGLER_SRC_CORE_JUGGLER_H_
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cpu/cost_model.h"
+#include "src/gro/flow_table.h"
 #include "src/gro/gro_engine.h"
 #include "src/gro/segment_builder.h"
 #include "src/util/intrusive_list.h"
@@ -129,6 +128,7 @@ class Juggler : public GroEngine {
   Juggler(const CpuCostModel* costs, const JugglerConfig& config);
 
   TimeNs Receive(PacketPtr packet) override;
+  TimeNs ReceiveBatch(PacketPtr* packets, size_t count) override;
   TimeNs PollComplete() override;
   TimeNs OnTimer() override;
   std::string name() const override { return "juggler"; }
@@ -141,6 +141,9 @@ class Juggler : public GroEngine {
   size_t inactive_list_len() const { return inactive_list_.size(); }
   size_t loss_list_len() const { return loss_list_.size(); }
   size_t flow_table_size() const { return table_.size(); }
+  // Table-owned memory (slots + record slabs); bench/perf_scale divides this
+  // by the flow count for the tracked bytes-per-flow figure.
+  size_t flow_table_resident_bytes() const { return table_.resident_bytes(); }
 
   // Introspection for debugging and tooling: a snapshot of one flow entry.
   struct FlowSnapshot {
@@ -251,11 +254,14 @@ class Juggler : public GroEngine {
   JugglerConfig config_;
   JugglerStats jstats_;
 
-  std::unordered_map<FiveTuple, std::unique_ptr<FlowEntry>, FiveTupleHash> table_;
+  // Open-addressing table with slab-pinned entries: FlowEntry addresses are
+  // stable for the entry's lifetime, which the intrusive phase lists and
+  // last_entry_ memoization both rely on.
+  FlowTable<FlowEntry> table_;
   // Memoizes the entry the last data packet hit. Datacenter RX queues see
   // long single-flow runs, so this turns the per-packet hash lookup into one
-  // tuple compare on the common path. Pure memoization (entries are heap
-  // pinned by unique_ptr): invalidated only when its entry leaves the table.
+  // tuple compare on the common path. Pure memoization (entries are slab
+  // pinned): invalidated only when its entry leaves the table.
   FlowEntry* last_entry_ = nullptr;
   FlowList active_list_;
   FlowList inactive_list_;

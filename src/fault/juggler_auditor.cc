@@ -30,6 +30,14 @@ TimeNs JugglerAuditor::Receive(PacketPtr packet) {
   return cost;
 }
 
+TimeNs JugglerAuditor::ReceiveBatch(PacketPtr* packets, size_t count) {
+  // Forwarded as a batch so the audited engine keeps its prefetch pipeline;
+  // invariants are still checked only at poll/timer boundaries.
+  const TimeNs cost = inner_->ReceiveBatch(packets, count);
+  stats_ = inner_->stats();
+  return cost;
+}
+
 TimeNs JugglerAuditor::PollComplete() {
   const TimeNs cost = inner_->PollComplete();
   stats_ = inner_->stats();

@@ -45,6 +45,7 @@ class JugglerAuditor : public GroEngine {
   void set_context(Context ctx) override;
 
   TimeNs Receive(PacketPtr packet) override;
+  TimeNs ReceiveBatch(PacketPtr* packets, size_t count) override;
   TimeNs PollComplete() override;
   TimeNs OnTimer() override;
   std::string name() const override { return "juggler+audit"; }

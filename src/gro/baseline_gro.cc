@@ -21,8 +21,7 @@ TimeNs StandardGro::Receive(PacketPtr packet) {
   }
   ++stats_.data_packets_in;
 
-  auto [it, inserted] = held_.try_emplace(packet->flow);
-  SegmentBuilder& builder = it->second;
+  SegmentBuilder& builder = held_[packet->flow];
   if (builder.empty()) {
     builder.Start(*packet);
     if (builder.needs_flush()) {
@@ -66,13 +65,14 @@ TimeNs StandardGro::Receive(PacketPtr packet) {
 
 TimeNs StandardGro::PollComplete() {
   TimeNs cost = 0;
-  for (auto& [flow, builder] : held_) {
+  // Flows flush in creation order — deterministic for any shard count.
+  held_.ForEach([&](const FiveTuple&, SegmentBuilder& builder) {
     if (!builder.empty()) {
       Deliver(builder.Take(), FlushReason::kPollEnd);
       cost += costs_->gro_flush_per_segment;
     }
-  }
-  held_.clear();
+  });
+  held_.Clear();
   return cost;
 }
 
@@ -130,10 +130,9 @@ TimeNs LinkedListGro::FlushChain(Chain* chain, FlushReason reason) {
 
 TimeNs LinkedListGro::PollComplete() {
   TimeNs cost = 0;
-  for (auto& [flow, chain] : chains_) {
-    cost += FlushChain(&chain, FlushReason::kPollEnd);
-  }
-  chains_.clear();
+  chains_.ForEach(
+      [&](const FiveTuple&, Chain& chain) { cost += FlushChain(&chain, FlushReason::kPollEnd); });
+  chains_.Clear();
   return cost;
 }
 

@@ -11,10 +11,10 @@
 #ifndef JUGGLER_SRC_GRO_BASELINE_GRO_H_
 #define JUGGLER_SRC_GRO_BASELINE_GRO_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "src/cpu/cost_model.h"
+#include "src/gro/flow_table.h"
 #include "src/gro/gro_engine.h"
 #include "src/gro/segment_builder.h"
 
@@ -42,7 +42,7 @@ class StandardGro : public GroEngine {
 
  private:
   const CpuCostModel* costs_;
-  std::unordered_map<FiveTuple, SegmentBuilder, FiveTupleHash> held_;
+  FlowTable<SegmentBuilder> held_;
 };
 
 class LinkedListGro : public GroEngine {
@@ -64,7 +64,7 @@ class LinkedListGro : public GroEngine {
   TimeNs FlushChain(Chain* chain, FlushReason reason);
 
   const CpuCostModel* costs_;
-  std::unordered_map<FiveTuple, Chain, FiveTupleHash> chains_;
+  FlowTable<Chain> chains_;
 };
 
 }  // namespace juggler

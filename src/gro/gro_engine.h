@@ -19,8 +19,10 @@
 #ifndef JUGGLER_SRC_GRO_GRO_ENGINE_H_
 #define JUGGLER_SRC_GRO_GRO_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
@@ -106,6 +108,20 @@ class GroEngine {
 
   // Process one packet. Ownership transfers to the engine.
   virtual TimeNs Receive(PacketPtr packet) = 0;
+
+  // Process `count` packets harvested by one polling round, in array order.
+  // MUST stay observably identical to calling Receive() on each packet in
+  // turn — per-packet delivery order and trace events are digest-visible —
+  // so overrides may only amortize dispatch overhead and prefetch flow
+  // state ahead of use, never reorder or defer per-packet effects. Returns
+  // the summed CPU cost.
+  virtual TimeNs ReceiveBatch(PacketPtr* packets, size_t count) {
+    TimeNs cost = 0;
+    for (size_t i = 0; i < count; ++i) {
+      cost += Receive(std::move(packets[i]));
+    }
+    return cost;
+  }
 
   // A NAPI polling round completed.
   virtual TimeNs PollComplete() = 0;

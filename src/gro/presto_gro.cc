@@ -88,9 +88,14 @@ TimeNs PrestoGro::Receive(PacketPtr packet) {
   cost += costs_->juggler_ooo_insert;
   if (flow.ooo.empty()) {
     flow.oldest_ooo_arrival = Now();
+    flow.ooo_base = flow.expected;
   }
+  // Serial offset from the buffer's base: every buffered run starts at or
+  // after ooo_base and within the reordering window (<< 2^31), so the
+  // offset is wrap-safe where the raw sequence number is not.
+  const uint32_t offset = packet->seq - flow.ooo_base;
   // Try to extend the run that ends exactly at this packet's seq.
-  auto next = flow.ooo.lower_bound(packet->seq);
+  auto next = flow.ooo.lower_bound(offset);
   if (next != flow.ooo.begin()) {
     auto prev = std::prev(next);
     if (prev->second.end_seq() == packet->seq &&
@@ -101,25 +106,26 @@ TimeNs PrestoGro::Receive(PacketPtr packet) {
   }
   SegmentBuilder run;
   run.Start(*packet);
-  flow.ooo.emplace(packet->seq, std::move(run));
+  flow.ooo.emplace(offset, std::move(run));
   return cost;
 }
 
 TimeNs PrestoGro::PollComplete() {
   TimeNs cost = 0;
   const TimeNs now = Now();
-  for (auto& [tuple, flow] : flows_) {
+  flows_.ForEach([&](const FiveTuple&, FlowState& flow) {
     cost += FlushInseq(&flow, FlushReason::kPollEnd);
     if (!flow.ooo.empty() && now - flow.oldest_ooo_arrival >= config_.ooo_flush_timeout) {
-      // Coarse timeout: give up on the gap, deliver runs as-is.
-      for (auto& [seq, run] : flow.ooo) {
+      // Coarse timeout: give up on the gap, deliver runs as-is (offset
+      // order == serial order, even across a sequence wrap).
+      for (auto& [offset, run] : flow.ooo) {
         flow.expected = SeqMax(flow.expected, run.end_seq());
         Deliver(run.Take(), FlushReason::kOfoTimeout);
         cost += costs_->gro_flush_per_segment;
       }
       flow.ooo.clear();
     }
-  }
+  });
   return cost;
 }
 

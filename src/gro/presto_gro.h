@@ -14,9 +14,9 @@
 #define JUGGLER_SRC_GRO_PRESTO_GRO_H_
 
 #include <map>
-#include <unordered_map>
 
 #include "src/cpu/cost_model.h"
+#include "src/gro/flow_table.h"
 #include "src/gro/gro_engine.h"
 #include "src/gro/segment_builder.h"
 
@@ -41,13 +41,16 @@ class PrestoGro : public GroEngine {
  private:
   struct FlowState {
     bool has_expected = false;
-    Seq expected = 0;           // next in-order byte
-    SegmentBuilder inseq;       // accumulating in-order segment
-    std::map<Seq, SegmentBuilder> ooo;  // keyed by run start, wrap-naive*
+    Seq expected = 0;      // next in-order byte
+    SegmentBuilder inseq;  // accumulating in-order segment
+    // OOO runs keyed by the run start's serial offset from ooo_base (the
+    // flow's `expected` when the buffer last went non-empty). Offsets
+    // compare correctly across the 2^32 sequence wrap; raw Seq keys would
+    // sort a post-wrap run (small uint32_t) before a pre-wrap one, draining
+    // and flushing runs out of serial order.
+    std::map<uint32_t, SegmentBuilder> ooo;
+    Seq ooo_base = 0;  // valid while ooo is non-empty
     TimeNs oldest_ooo_arrival = 0;
-    // *NOTE: std::map keys compare as plain uint32_t. A run spanning the
-    // 2^32 wrap would sort wrong; flows are flushed far more often than 4GB
-    // so this matches Presto's own simplification.
   };
 
   TimeNs DrainContiguous(FlowState* flow);
@@ -55,7 +58,7 @@ class PrestoGro : public GroEngine {
 
   const CpuCostModel* costs_;
   PrestoGroConfig config_;
-  std::unordered_map<FiveTuple, FlowState, FiveTupleHash> flows_;
+  FlowTable<FlowState> flows_;
 };
 
 }  // namespace juggler

@@ -84,6 +84,24 @@ class SegmentBuilder {
     return out;
   }
 
+  // Batched tail extension: `mtus` contiguous packets totalling `bytes`,
+  // each of which the caller guarantees would have returned kMerged from
+  // TryMerge (matching metadata, no PSH/URG, under the size cap). `ack` and
+  // `rwnd` are the LAST packet's values (latest cumulative ACK wins) and
+  // `flags` / `last_rx` the OR / max across the run — exactly what that
+  // many individual TryMerge calls would have left behind.
+  void ExtendTail(uint32_t bytes, uint32_t mtus, uint8_t flags, Seq ack, uint32_t rwnd,
+                  TimeNs last_rx) {
+    segment_.payload_len += bytes;
+    segment_.mtu_count += mtus;
+    segment_.flags |= flags;
+    segment_.ack_seq = ack;
+    segment_.ack_rwnd = rwnd;
+    if (last_rx > segment_.last_rx_time) {
+      segment_.last_rx_time = last_rx;
+    }
+  }
+
   // Merge `later` onto the tail of this builder. Caller guarantees
   // later.start_seq() == end_seq() and matching metadata.
   void Append(SegmentBuilder&& later) {

@@ -98,25 +98,27 @@ void NicRx::StartPoll(RxQueue* q, bool session_entry) {
 void NicRx::DoPoll(RxQueue* q, bool session_entry) {
   ++stats_.polls;
   TimeNs cost = session_entry ? costs_->napi_poll_overhead : costs_->napi_repoll_overhead;
-  // One NAPI round: up to `napi_budget` packets through the engine, then the
-  // engine's poll-completion hook (GRO flush decisions / timeout checks) —
-  // "the kernel hands off packets to GRO, whose batching interval is the
-  // same as the driver's polling interval".
-  size_t work = 0;
-  while (!q->ring.empty() && work < config_.napi_budget) {
-    PacketPtr p = std::move(q->ring.front());
+  // One NAPI round: harvest up to `napi_budget` packets off the ring, hand
+  // them to the engine as ONE batch (in ring order, so batch processing is
+  // observably identical to the old per-packet loop), then the engine's
+  // poll-completion hook (GRO flush decisions / timeout checks) — "the
+  // kernel hands off packets to GRO, whose batching interval is the same as
+  // the driver's polling interval".
+  q->batch.clear();
+  while (!q->ring.empty() && q->batch.size() < config_.napi_budget) {
+    q->batch.push_back(std::move(q->ring.front()));
     q->ring.pop_front();
     cost += costs_->driver_per_packet;
-    cost += q->gro->Receive(std::move(p));
-    ++work;
   }
-  if (work == config_.napi_budget && !q->ring.empty()) {
+  cost += q->gro->ReceiveBatch(q->batch.data(), q->batch.size());
+  if (q->batch.size() == config_.napi_budget && !q->ring.empty()) {
     ++stats_.napi_budget_exhausted;
     if (config_.recorder != nullptr) {
       config_.recorder->Record(loop_->now(), TraceKind::kNapiBudget, q->index,
                                q->ring.size());
     }
   }
+  q->batch.clear();
   cost += q->gro->PollComplete();
   q->core.Submit(cost, [this, q] {
     DeliverPending(q);
@@ -149,9 +151,10 @@ void NicRx::OnGroTimer(RxQueue* q) {
 }
 
 void NicRx::DeliverPending(RxQueue* q) {
-  for (auto& segment : q->pending_segments) {
-    sink_->OnSegment(std::move(segment));
+  if (q->pending_segments.empty()) {
+    return;
   }
+  sink_->OnSegmentBatch(q->pending_segments.data(), q->pending_segments.size());
   q->pending_segments.clear();
 }
 

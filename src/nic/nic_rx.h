@@ -40,6 +40,15 @@ class SegmentSink {
  public:
   virtual ~SegmentSink() = default;
   virtual void OnSegment(Segment segment) = 0;
+
+  // Every segment one RX-core work item made visible, in delivery order.
+  // Equivalent to OnSegment() on each in turn; hosts override to pay one
+  // virtual hop per poll round instead of one per segment.
+  virtual void OnSegmentBatch(Segment* segments, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      OnSegment(std::move(segments[i]));
+    }
+  }
 };
 
 struct NicRxConfig {
@@ -104,6 +113,7 @@ class NicRx : public PacketSink {
     std::deque<PacketPtr> ring;
     std::unique_ptr<GroEngine> gro;
     CpuCore core;
+    std::vector<PacketPtr> batch;           // one poll round's ring harvest
     std::vector<Segment> pending_segments;  // collected during a GRO call
     TimeNs last_interrupt = -(1LL << 60);   // long ago: first packet fires now
     TimeNs session_start = 0;               // start of the current polling session

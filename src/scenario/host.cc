@@ -51,6 +51,12 @@ void Host::OnSegment(Segment segment) {
   });
 }
 
+void Host::OnSegmentBatch(Segment* segments, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    Host::OnSegment(std::move(segments[i]));  // qualified: no per-segment vcall
+  }
+}
+
 void Host::Demux(const Segment& segment) {
   // Inbound segments carry the sender's tuple; our endpoint owns the mirror.
   auto it = endpoints_.find(segment.flow.Reversed());

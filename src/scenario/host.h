@@ -55,6 +55,9 @@ class Host : public SegmentSink {
 
   // SegmentSink: a merged segment from the NIC, still on the RX core clock.
   void OnSegment(Segment segment) override;
+  // Batch form: one virtual hop per poll round; per-segment handling (app
+  // core charge, backpressure accounting, demux order) is identical.
+  void OnSegmentBatch(Segment* segments, size_t count) override;
 
   NicRx* nic_rx() { return nic_rx_.get(); }
   NicTx* nic_tx() { return nic_tx_.get(); }

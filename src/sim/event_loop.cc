@@ -9,96 +9,211 @@
 
 namespace juggler {
 
-TimerId EventLoop::ScheduleAt(TimeNs when, Callback cb) {
-  JUG_CHECK(when >= now_);
-  uint32_t index;
-  if (free_slots_.empty()) {
-    index = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
-  } else {
-    index = free_slots_.back();
-    free_slots_.pop_back();
+void EventLoop::DrainStaged() {
+  for (const Event& e : staged_) {
+    TimerSlot& slot = slots_[SlotIndexOf(e.id)];
+    if (slot.generation != GenerationOf(e.id)) {
+      // Cancelled out of the middle of the staging array.
+      --dead_entries_;
+      continue;
+    }
+    FileEvent(e, slot);
   }
-  TimerSlot& slot = slots_[index];
-  slot.armed = true;
-  slot.cb = std::move(cb);
-  ++live_timers_;
-  const TimerId id = MakeId(index, slot.generation);
-  heap_.push_back(Event{when, next_order_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
-  return id;
+  staged_.clear();
 }
 
-void EventLoop::Cancel(TimerId id) {
-  if (id == kInvalidTimerId) {
-    return;
+size_t EventLoop::pending_events() const {
+  size_t total = staged_.size() + due_.size() + overflow_.size();
+  for (int level = 0; level < kWheelLevels; ++level) {
+    uint64_t occ = occupied_[level];
+    while (occ != 0) {
+      total += buckets_[level][__builtin_ctzll(occ)].size();
+      occ &= occ - 1;
+    }
   }
-  const uint32_t index = SlotIndexOf(id);
-  if (index >= slots_.size() || slots_[index].generation != GenerationOf(id) ||
-      !slots_[index].armed) {
-    return;  // already fired, already cancelled, or never valid
-  }
-  slots_[index].cb.Reset();  // free captured resources at cancel time
-  ReleaseSlot(index);
-  ++dead_in_heap_;
-  MaybeCompact();
+  return total;
 }
 
 void EventLoop::MaybeCompact() {
-  // Compact only once dead entries both dominate the heap and are numerous
-  // enough that the O(n) rebuild amortises to O(1) per cancellation.
-  if (dead_in_heap_ < 1024 || dead_in_heap_ * 2 < heap_.size()) {
+  // Compact only once dead entries both dominate the pending set and are
+  // numerous enough that the O(n) sweep amortises to O(1) per cancellation.
+  // The caller gated on compact_threshold_, so the O(buckets) total
+  // derivation runs rarely; when the dead share is still a minority, push
+  // the watermark to the earliest point it could reach half.
+  const size_t total = pending_events();
+  if (dead_entries_ * 2 < total) {
+    // Re-check once dead could have caught up to the current live count.
+    compact_threshold_ = total - dead_entries_;
     return;
   }
-  std::erase_if(heap_, [this](const Event& e) { return !IsLive(e.id); });
-  std::make_heap(heap_.begin(), heap_.end(), EventLater{});
-  dead_in_heap_ = 0;
+  const auto sweep = [this](std::vector<Event>& vec) {
+    std::erase_if(vec, [this](const Event& e) { return !IsLive(e.id); });
+  };
+  sweep(staged_);
+  for (int level = 0; level < kWheelLevels; ++level) {
+    uint64_t occ = occupied_[level];
+    while (occ != 0) {
+      const int bucket = __builtin_ctzll(occ);
+      occ &= occ - 1;
+      sweep(buckets_[level][bucket]);
+      if (buckets_[level][bucket].empty()) {
+        occupied_[level] &= ~(1ULL << bucket);
+      }
+    }
+  }
+  sweep(overflow_);
+  sweep(due_);
+  std::make_heap(due_.begin(), due_.end(), EventLater{});
+  dead_entries_ = 0;
+  compact_threshold_ = kCompactFloor;
+}
+
+void EventLoop::PruneDueFront() {
+  while (!due_.empty() && !IsLive(due_.front().id)) {
+    std::pop_heap(due_.begin(), due_.end(), EventLater{});
+    due_.pop_back();
+    --dead_entries_;
+  }
+}
+
+bool EventLoop::HarvestNext(TimeNs limit) {
+  // The lowest occupied level holds the globally earliest wheel events:
+  // every level-l event expires before every event of any level above it
+  // (its expiry agrees with wheel_time_ on all digits > l; a higher-level
+  // event exceeds wheel_time_ in one of those digits).
+  int level = -1;
+  for (int l = 0; l < kWheelLevels; ++l) {
+    if (occupied_[l] != 0) {
+      level = l;
+      break;
+    }
+  }
+  if (level < 0) {
+    // Wheel empty: fall back to the overflow list (expiries that were beyond
+    // the top level's span). Prune dead entries, find the earliest live
+    // expiry, and re-bucket everything relative to it — entries still too
+    // far out simply land back in overflow.
+    if (overflow_.empty()) {
+      return false;
+    }
+    TimeNs min_when = kNoEvent;
+    size_t kept = 0;
+    for (size_t r = 0; r < overflow_.size(); ++r) {
+      if (!IsLive(overflow_[r].id)) {
+        --dead_entries_;
+        continue;
+      }
+      overflow_[kept++] = overflow_[r];
+      min_when = std::min(min_when, overflow_[r].when);
+    }
+    overflow_.resize(kept);
+    if (kept == 0 || min_when > limit) {
+      return false;
+    }
+    wheel_time_ = min_when;
+    std::vector<Event> pending;
+    pending.swap(overflow_);
+    for (const Event& e : pending) {
+      FileEvent(e, slots_[SlotIndexOf(e.id)]);
+    }
+    return true;
+  }
+
+  const int bucket = __builtin_ctzll(occupied_[level]);
+  const int shift = level * kWheelLevelBits;
+  const uint64_t upper = static_cast<uint64_t>(wheel_time_) >> (shift + kWheelLevelBits);
+  const TimeNs slot_start = static_cast<TimeNs>(
+      ((upper << kWheelLevelBits) | static_cast<uint64_t>(bucket)) << shift);
+  if (slot_start > limit) {
+    return false;
+  }
+  occupied_[level] &= ~(1ULL << bucket);
+  std::vector<Event>& vec = buckets_[level][bucket];
+  wheel_time_ = slot_start;
+  // Re-file the bucket against the advanced base: a level-1 bucket drains
+  // straight into the due heap (its whole span is the new base's level-0
+  // window); a higher bucket cascades into strictly lower levels. FileEvent
+  // never targets the bucket being drained, so iterating it is safe.
+  for (const Event& e : vec) {
+    TimerSlot& slot = slots_[SlotIndexOf(e.id)];
+    if (slot.generation != GenerationOf(e.id)) {
+      --dead_entries_;
+      continue;
+    }
+    FileEvent(e, slot);
+  }
+  vec.clear();
+  return true;
 }
 
 TimeNs EventLoop::next_event_time() {
-  while (!heap_.empty() && !IsLive(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
-    heap_.pop_back();
-    JUG_CHECK(dead_in_heap_ > 0);
-    --dead_in_heap_;
+  DrainStaged();
+  for (;;) {
+    PruneDueFront();
+    if (!due_.empty()) {
+      return due_.front().when;
+    }
+    if (!HarvestNext(kNoEvent)) {
+      return kNoEvent;
+    }
   }
-  return heap_.empty() ? kNoEvent : heap_.front().when;
 }
 
 void EventLoop::Shutdown() {
-  heap_.clear();
+  staged_.clear();
+  due_.clear();
+  for (int level = 0; level < kWheelLevels; ++level) {
+    for (int bucket = 0; bucket < kWheelSlots; ++bucket) {
+      buckets_[level][bucket].clear();
+    }
+    occupied_[level] = 0;
+  }
+  overflow_.clear();
   free_slots_.clear();
   for (uint32_t index = 0; index < slots_.size(); ++index) {
     TimerSlot& slot = slots_[index];
-    if (slot.armed) {
+    if ((slot.generation & 1) != 0) {  // armed
       slot.cb.Reset();
-      slot.armed = false;
       ++slot.generation;
     }
     free_slots_.push_back(index);
   }
-  live_timers_ = 0;
-  dead_in_heap_ = 0;
+  dead_entries_ = 0;
+  compact_threshold_ = kCompactFloor;
 }
 
 bool EventLoop::RunOne(TimeNs deadline) {
-  while (!heap_.empty()) {
-    if (heap_.front().when > deadline) {
-      return false;
-    }
-    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
-    const Event event = heap_.back();
-    heap_.pop_back();
-    // Lazily skip cancelled events.
-    if (!IsLive(event.id)) {
-      JUG_CHECK(dead_in_heap_ > 0);
-      --dead_in_heap_;
+  if (!staged_.empty()) {
+    DrainStaged();
+  }
+  for (;;) {
+    if (due_.empty()) {
+      if (!HarvestNext(deadline)) {
+        return false;
+      }
       continue;
     }
+    // Every wheel entry expires after wheel_time_|63, and every due entry at
+    // or before it, so the due front is the global minimum — no harvest
+    // needed. The liveness check is fused into the pop: one slot load serves
+    // both the dead-entry skip and the callback fetch.
+    const Event event = due_.front();
+    const uint32_t index = SlotIndexOf(event.id);
+    TimerSlot& slot = slots_[index];
+    if (slot.generation != GenerationOf(event.id)) {
+      std::pop_heap(due_.begin(), due_.end(), EventLater{});
+      due_.pop_back();
+      --dead_entries_;
+      continue;
+    }
+    if (event.when > deadline) {
+      return false;
+    }
+    std::pop_heap(due_.begin(), due_.end(), EventLater{});
+    due_.pop_back();
     JUG_CHECK(event.when >= now_);
     now_ = event.when;
-    const uint32_t index = SlotIndexOf(event.id);
-    TimerCallback cb = std::move(slots_[index].cb);
+    TimerCallback cb = std::move(slot.cb);
     ReleaseSlot(index);
     ++executed_;
     // Zero cost unless a callback actually throws (table-based EH); the
@@ -110,12 +225,12 @@ bool EventLoop::RunOne(TimeNs deadline) {
     } catch (const std::exception& e) {
       throw EventLoopCallbackError(
           "event-loop callback threw at t=" + std::to_string(now_) + "ns (event #" +
-          std::to_string(executed_) + ", " + std::to_string(live_timers_) +
+          std::to_string(executed_) + ", " +
+          std::to_string(slots_.size() - free_slots_.size()) +
           " pending timers): " + e.what());
     }
     return true;
   }
-  return false;
 }
 
 void EventLoop::Run() {

@@ -11,6 +11,14 @@
 // inline (no allocation), and move-only captures (PacketPtr!) are fine.
 // Oversized callables still work through a heap fallback, so no call site
 // ever has to care.
+//
+// Hot-path notes: the whole object is 56 bytes, so the EventLoop's timer
+// slot (generation tag + location + callback) fits one cache line.
+// Emplace() lets the event loop construct a callable straight into its slot
+// — the schedule path never materialises a temporary TimerCallback and
+// never moves one. Trivially-destructible captures (almost every
+// schedule/cancel in a run: `this` plus PODs) carry a null destroy hook, so
+// cancelling one is a test-and-branch, not an indirect call.
 
 #ifndef JUGGLER_SRC_SIM_INLINE_CALLBACK_H_
 #define JUGGLER_SRC_SIM_INLINE_CALLBACK_H_
@@ -35,14 +43,17 @@ class TimerCallback {
                                         std::is_invocable_r_v<void, D&>>>
   // NOLINTNEXTLINE(google-explicit-constructor): implicit like std::function.
   TimerCallback(F&& f) {
-    if constexpr (sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<D>) {
-      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
-      ops_ = &kInlineOps<D>;
-    } else {
-      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
-      ops_ = &kHeapOps<D>;
-    }
+    EmplaceImpl<F, D>(std::forward<F>(f));
+  }
+
+  // Construct a callable in place over whatever was held before. The event
+  // loop uses this to build the capture directly inside a timer slot.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, TimerCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void Emplace(F&& f) {
+    Reset();
+    EmplaceImpl<F, D>(std::forward<F>(f));
   }
 
   TimerCallback(TimerCallback&& other) noexcept : ops_(other.ops_) {
@@ -73,10 +84,14 @@ class TimerCallback {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  // Destroys the held callable (releasing any resources it captured).
+  // Destroys the held callable (releasing any resources it captured). A
+  // null destroy hook marks a trivially-destructible capture: dropping it is
+  // free.
   void Reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(buf_);
+      if (ops_->destroy != nullptr) {
+        ops_->destroy(buf_);
+      }
       ops_ = nullptr;
     }
   }
@@ -86,8 +101,21 @@ class TimerCallback {
     void (*invoke)(void* storage);
     // Move-construct from `from` into `to`, destroying the source object.
     void (*relocate)(void* from, void* to) noexcept;
+    // Null when destruction is a no-op.
     void (*destroy)(void* storage) noexcept;
   };
+
+  template <typename F, typename D>
+  void EmplaceImpl(F&& f) {
+    if constexpr (sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
 
   template <typename D>
   static D* Stored(void* storage) noexcept {
@@ -102,7 +130,9 @@ class TimerCallback {
         ::new (to) D(std::move(*src));
         src->~D();
       },
-      [](void* s) noexcept { Stored<D>(s)->~D(); },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* s) noexcept { Stored<D>(s)->~D(); },
   };
 
   template <typename D>

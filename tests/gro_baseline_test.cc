@@ -199,6 +199,41 @@ TEST(PrestoGroTest, OooFlushedAfterCoarseTimeout) {
   EXPECT_EQ(h.delivered()[0].seq, 2 * kMss);
 }
 
+TEST(PrestoGroTest, OooBufferSurvivesSequenceWrap) {
+  // Regression: the OOO buffer used to be keyed by raw sequence number, so a
+  // run buffered just past the 2^32 wrap (tiny uint32_t) sorted BEFORE a run
+  // buffered just under it (huge uint32_t). DrainContiguous inspects
+  // map.begin() and stops when its start doesn't match `expected`, so the
+  // mis-sorted post-wrap run stalled the drain even though the pre-wrap run
+  // was contiguous. Keying by offset from ooo_base restores serial order.
+  GroHarness h = MakePresto();
+  const FiveTuple flow = TestFlow();
+  const Seq start = static_cast<Seq>(0) - 3 * kMss;  // 3 MTUs shy of the wrap
+
+  h.Receive(MakeDataPacket(flow, start, kMss));
+  h.PollComplete();
+  h.TakeDelivered();
+  // expected is now start + kMss; leave a one-packet hole there.
+
+  // Buffer the post-wrap run first so the two runs cannot coalesce on
+  // insert, then the pre-wrap run that the hole-fill must drain first.
+  h.Receive(MakeDataPacket(flow, 0, kMss));                            // post-wrap
+  h.Receive(MakeDataPacket(flow, static_cast<Seq>(0) - kMss, kMss));  // pre-wrap
+  EXPECT_TRUE(h.delivered().empty());
+
+  h.Receive(MakeDataPacket(flow, start + kMss, kMss));  // fills the hole
+  h.PollComplete();
+  ASSERT_EQ(h.delivered().size(), 1u);
+  EXPECT_EQ(h.delivered()[0].seq, start + kMss);
+  EXPECT_EQ(h.delivered()[0].payload_len, 3 * kMss);  // hole + both runs
+
+  // Nothing left riding the coarse timeout: the buffer fully drained.
+  h.TakeDelivered();
+  h.Advance(Ms(2));
+  h.PollComplete();
+  EXPECT_TRUE(h.delivered().empty());
+}
+
 TEST(PrestoGroTest, RetransmissionPassesThrough) {
   GroHarness h = MakePresto();
   const FiveTuple flow = TestFlow();

@@ -1,0 +1,207 @@
+// Edge cases of the EventLoop's hierarchical timer wheel: overflow beyond
+// the top level, cancellation after a cascade has moved an entry, Shutdown
+// with resources riding wheel slots, re-arm storms at a single deadline, and
+// the generation-tag liveness invariants. The baseline ordering semantics
+// live in sim_test.cc; these tests pin the machinery the wheel added.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/packet/packet.h"
+#include "src/sim/event_loop.h"
+#include "src/util/time.h"
+
+namespace juggler {
+namespace {
+
+// 64^6 ns: the span of the six-level wheel. Anything scheduled farther out
+// waits in the overflow list until the wheel drains to it.
+constexpr TimeNs kWheelSpan = 1LL << (EventLoop::kWheelLevels * EventLoop::kWheelLevelBits);
+
+TEST(TimerWheelTest, FarFutureBeyondTopLevelFiresInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  // Three events past the wheel span (overflow list), interleaved with two
+  // inside it, scheduled shuffled.
+  loop.ScheduleAt(2 * kWheelSpan + 7, [&] { order.push_back(4); });
+  loop.ScheduleAt(100, [&] { order.push_back(1); });
+  loop.ScheduleAt(3 * kWheelSpan, [&] { order.push_back(5); });
+  loop.ScheduleAt(kWheelSpan + 5, [&] { order.push_back(3); });
+  loop.ScheduleAt(Ms(1), [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(loop.now(), 3 * kWheelSpan);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.pending_timer_ids(), 0u);
+}
+
+TEST(TimerWheelTest, OverflowRebucketsRepeatedly) {
+  // Each firing drains the wheel completely, forcing the overflow list to
+  // re-bucket for the next one — and re-overflow events still too far out.
+  EventLoop loop;
+  std::vector<TimeNs> fired;
+  for (int i = 1; i <= 4; ++i) {
+    loop.ScheduleAt(i * kWheelSpan + i, [&, i] { fired.push_back(loop.now()); });
+  }
+  loop.Run();
+  ASSERT_EQ(fired.size(), 4u);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i - 1)], i * kWheelSpan + i);
+  }
+}
+
+TEST(TimerWheelTest, CancelledOverflowEntryNeverFires) {
+  EventLoop loop;
+  bool cancelled_ran = false;
+  bool kept_ran = false;
+  const TimerId doomed = loop.ScheduleAt(2 * kWheelSpan, [&] { cancelled_ran = true; });
+  loop.ScheduleAt(2 * kWheelSpan + 1, [&] { kept_ran = true; });
+  // Force the staged entries into the overflow list before cancelling, so
+  // the cancel can't take the pop-the-newest staging fast path.
+  loop.next_event_time();
+  loop.Cancel(doomed);
+  loop.Run();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_TRUE(kept_ran);
+  EXPECT_EQ(loop.now(), 2 * kWheelSpan + 1);
+}
+
+TEST(TimerWheelTest, CancelAfterCascadeStillPreventsExecution) {
+  // RunUntil drags the wheel base forward, cascading the level-1 bucket that
+  // holds the victims into the due heap; cancelling afterwards must still
+  // win, including for an entry buried mid-heap (lazy dead-entry skip).
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(10, [&] { order.push_back(0); });
+  const TimerId doomed = loop.Schedule(70, [&] { order.push_back(1); });
+  loop.Schedule(71, [&] { order.push_back(2); });
+  loop.Schedule(72, [&] { order.push_back(3); });
+  loop.RunUntil(64);  // fires t=10; harvest cascades the t=70..72 bucket
+  EXPECT_TRUE(loop.IsPending(doomed));
+  loop.Cancel(doomed);
+  EXPECT_FALSE(loop.IsPending(doomed));
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(TimerWheelTest, ShutdownFreesPacketsRidingWheelSlots) {
+  // Timers carry PacketPtr captures at every horizon: staging, the due span,
+  // a mid-level bucket, and the overflow list. Shutdown must release all of
+  // them back to the pool immediately — not leak them in wheel slots.
+  PacketPool& pool = PacketPool::ThreadLocal();
+  // Warm the freelist so every Acquire below recycles (keeps the arithmetic
+  // exact: no fresh allocations mid-test).
+  {
+    std::vector<PacketPtr> warm;
+    for (int i = 0; i < 8; ++i) {
+      warm.push_back(AllocPacket());
+    }
+  }
+  const size_t free_before = pool.free_size();
+  EventLoop loop;
+  const TimeNs horizons[] = {5, 1000, Ms(3), kWheelSpan + 1};
+  for (TimeNs when : horizons) {
+    PacketPtr p = AllocPacket();
+    loop.ScheduleAt(when, [p = std::move(p)] { (void)p; });
+  }
+  // Drain staging for all but the last so the captures sit in the due heap,
+  // a wheel bucket and overflow; the last stays staged.
+  EXPECT_EQ(pool.free_size(), free_before - 4);
+  loop.Shutdown();
+  EXPECT_EQ(pool.free_size(), free_before);  // every packet returned
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.pending_timer_ids(), 0u);
+  // The loop stays usable after Shutdown.
+  bool ran = false;
+  loop.Schedule(1, [&] { ran = true; });
+  loop.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(TimerWheelTest, ReArmStormAtOneDeadlineStaysBounded) {
+  // The RTO idiom, concentrated: one deadline re-armed 100k times. The
+  // cancel must pop the entry it just staged, so the pending-entry count
+  // stays O(1) instead of O(re-arms).
+  EventLoop loop;
+  const TimeNs deadline = Ms(5);
+  TimerId armed = kInvalidTimerId;
+  int fired = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    loop.Cancel(armed);
+    armed = loop.ScheduleAt(deadline, [&] { ++fired; });
+  }
+  EXPECT_LE(loop.pending_events(), 2u);
+  EXPECT_EQ(loop.pending_timer_ids(), 1u);
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), deadline);
+}
+
+TEST(TimerWheelTest, ReArmStormAcrossDrainsCompacts) {
+  // Same storm, but next_event_time() periodically files the armed entry
+  // into the due heap, so the subsequent cancel can't take the fast path.
+  // Compaction must keep dead entries from accumulating without bound.
+  EventLoop loop;
+  const TimeNs deadline = Ms(5);
+  TimerId armed = kInvalidTimerId;
+  int fired = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    loop.Cancel(armed);
+    armed = loop.ScheduleAt(deadline, [&] { ++fired; });
+    loop.next_event_time();  // drain staging: the entry now sits in due_
+  }
+  EXPECT_LE(loop.pending_events(), 3000u);  // compaction floor, not 100k
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, GenerationTagOutlivesCascades) {
+  // An id stays pending while its entry migrates staging -> bucket -> due,
+  // and goes stale the instant the callback runs.
+  EventLoop loop;
+  const TimerId id = loop.ScheduleAt(70, [] {});
+  EXPECT_TRUE(loop.IsPending(id));  // staged
+  loop.next_event_time();
+  EXPECT_TRUE(loop.IsPending(id));  // filed in a wheel bucket
+  loop.RunUntil(69);
+  EXPECT_TRUE(loop.IsPending(id));  // cascaded into the due heap
+  loop.Run();
+  EXPECT_FALSE(loop.IsPending(id));  // fired
+  loop.Cancel(id);                   // stale cancel: must be a no-op
+  EXPECT_EQ(loop.executed_events(), 1u);
+}
+
+TEST(TimerWheelTest, FiredSlotReuseInvalidatesStaleId) {
+  // After a timer fires, its slot is recycled for the next Schedule. The
+  // stale id's generation no longer matches, so cancelling it must not kill
+  // the new tenant.
+  EventLoop loop;
+  bool second_ran = false;
+  const TimerId first = loop.Schedule(1, [] {});
+  loop.Run();
+  const TimerId second = loop.Schedule(1, [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+  loop.Cancel(first);  // stale: generations differ even in the same slot
+  EXPECT_TRUE(loop.IsPending(second));
+  loop.Run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(TimerWheelTest, SameDeadlineFifoAcrossContainers) {
+  // Ties break by scheduling order even when the contenders reach the due
+  // heap by different routes: one filed directly (due span), one cascaded
+  // from a bucket, one re-bucketed from overflow.
+  EventLoop loop;
+  std::vector<int> order;
+  const TimeNs when = 2 * kWheelSpan + 10;
+  loop.ScheduleAt(when, [&] { order.push_back(0); });  // via overflow
+  loop.next_event_time();
+  loop.ScheduleAt(when, [&] { order.push_back(1); });  // staged later
+  loop.ScheduleAt(when, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace juggler
