@@ -1,50 +1,27 @@
 // Recorded hot-path baseline for bench/perf_core. Regenerate with
-//   perf_core --print-baseline-header > bench/perf_baseline.h
+//   cmake --build build --target bench-record
+// (or perf_core --baseline-header bench/perf_baseline.h --commit <sha>)
 // and note the commit it was measured at.
-//
-// Two eras are recorded. The PRIMARY constants are the gate: the hot-path
-// overhaul (hierarchical timer wheel, batched NIC->GRO->TCP dispatch,
-// open-addressing flow tables, packet-pool zero-image reset), measured atop
-// commit e5ea1e9 on the same box as the heap era, RelWithDebInfo, best of 3
-// full-size runs, old and new binaries interleaved round-by-round to cancel
-// frequency drift. The box thermal-throttles 20-40% under sustained bench
-// load, so these are sustained-load numbers (recorded after several minutes
-// of continuous benching, not a cold-turbo first run) and gate tolerances
-// must leave headroom for that swing. Ratchet vs the pre-overhaul binary
-// measured in the same interleaved session: timer churn 132.8M vs 74.9M
-// ops/sec (1.77x, target >= 1.5x), GRO datapath 73.2M vs 39.2M pkts/sec
-// (1.87x, target >= 1.3x). The event-chain rate is ~15% below the
-// pre-overhaul binary (31.8M vs 37.4M): immediately-fired events now pay one
-// staging hop before the due heap, the deliberate trade that makes
-// schedule/cancel churn O(1) — recorded as measured, not cherry-picked.
-//
-// The kHeapEra* constants keep the original commit-bb7f1e8 numbers
-// (pre-overhaul seed: one heap allocation per MTU, std::function timer
-// callbacks, unordered_set timer-id tracking, std::function GRO context) so
-// gate failures can show the whole trajectory.
 
 #ifndef JUGGLER_BENCH_PERF_BASELINE_H_
 #define JUGGLER_BENCH_PERF_BASELINE_H_
 
 namespace juggler::perf_baseline {
 
-inline constexpr char kCommit[] = "e5ea1e9+overhaul";
-inline constexpr double kEventLoopEventsPerSec = 31785582.0;
-inline constexpr double kTimerChurnOpsPerSec = 132849976.0;
-inline constexpr double kGroDatapathPacketsPerSec = 73203946.0;
+inline constexpr char kCommit[] = "cee11c3";
+inline constexpr double kEventLoopEventsPerSec = 47068459.3;
+inline constexpr double kTimerChurnOpsPerSec = 125491735.4;
+inline constexpr double kGroDatapathPacketsPerSec = 70407684.6;
 
-// Heap-era reference (binary-heap timers, per-packet dispatch, per-MTU heap
-// allocation), measured at commit bb7f1e8 on this same box.
+// Heap-era reference (binary-heap timers, per-packet dispatch,
+// per-MTU heap allocation), measured at commit bb7f1e8.
 inline constexpr char kHeapEraCommit[] = "bb7f1e8";
 inline constexpr double kHeapEraEventLoopEventsPerSec = 14268317.0;
 inline constexpr double kHeapEraTimerChurnOpsPerSec = 18594931.0;
 inline constexpr double kHeapEraGroDatapathPacketsPerSec = 19435172.0;
 
-// bench/perf_fabric reference: 32-host Clos bulk transfer at ONE worker on
-// the sharded engine, measured at commit d6524ca's successor (the commit
-// that introduced the bench — there is no pre-sharding number for a bench
-// of the sharded engine). Release+LTO, 1-hardware-thread machine, so the
-// recorded scaling curve is flat; remeasure the curve on a multi-core box.
+// bench/perf_fabric reference: 32-host Clos bulk transfer at ONE
+// worker on the sharded engine.
 inline constexpr double kFabricClosPacketsPerSec = 1046273.0;
 
 }  // namespace juggler::perf_baseline

@@ -10,7 +10,11 @@
 // win) is visible in one file.
 //
 // Modes:
-//   perf_core [--smoke] [--out PATH]   run the suite, write BENCH_core.json
+//   perf_core [--smoke] [--out PATH]   run the suite, merge into BENCH_core.json
+//                                      (other benches' sections are preserved)
+//   perf_core --baseline-header PATH --commit SHA
+//                                      same run, also re-record perf_baseline.h;
+//                                      the JSON then references the new numbers
 //   perf_core --print-baseline-header  emit a fresh perf_baseline.h to stdout
 //   perf_core --check PATH             schema-check an existing BENCH_core.json
 
@@ -28,6 +32,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/packet/packet.h"
 #include "src/sim/event_loop.h"
+#include "src/util/json.h"
 #include "src/util/time.h"
 
 namespace juggler {
@@ -302,36 +307,100 @@ int GateObsOverhead(const Results& r, double tolerance) {
   return 0;
 }
 
-void WriteJson(const Results& r, const std::string& path) {
+// The reference the current numbers are compared against in the output
+// file. Normally the compiled-in perf_baseline constants; when this run IS
+// a recording pass (--baseline-header), the fresh numbers themselves, so
+// the written JSON and the written header agree without a rebuild.
+struct BaselineView {
+  std::string commit = perf_baseline::kCommit;
+  double events_per_sec = perf_baseline::kEventLoopEventsPerSec;
+  double churn_ops_per_sec = perf_baseline::kTimerChurnOpsPerSec;
+  double packets_per_sec = perf_baseline::kGroDatapathPacketsPerSec;
+};
+
+// Merge-preserving writer: sections other benches own (perf_fabric's
+// "fabric_scaling", perf_scale's "flow_scale" / "tcp_scale") survive a
+// perf_core rerun, so one recording pass over the three benches — in any
+// order — leaves a complete file.
+void WriteJson(const Results& r, const BaselineView& base, const std::string& path) {
+  Json doc = Json::Object();
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      std::string error;
+      if (!Json::Parse(ss.str(), &doc, &error)) {
+        std::fprintf(stderr, "perf_core: %s unparseable (%s), rewriting\n", path.c_str(),
+                     error.c_str());
+        doc = Json::Object();
+      }
+    }
+  }
+  doc.Set("bench", Json::Str("perf_core"));
+  Json baseline = Json::Object();
+  baseline.Set("commit", Json::Str(base.commit));
+  baseline.Set("event_loop_events_per_sec", Json::Double(base.events_per_sec));
+  baseline.Set("timer_churn_ops_per_sec", Json::Double(base.churn_ops_per_sec));
+  baseline.Set("gro_datapath_packets_per_sec", Json::Double(base.packets_per_sec));
+  doc.Set("baseline", std::move(baseline));
+  Json current = Json::Object();
+  current.Set("event_loop_events_per_sec", Json::Double(r.events_per_sec));
+  current.Set("timer_churn_ops_per_sec", Json::Double(r.churn_ops_per_sec));
+  current.Set("gro_datapath_packets_per_sec", Json::Double(r.packets_per_sec));
+  current.Set("gro_datapath_obs_on_packets_per_sec", Json::Double(r.obs_on_packets_per_sec));
+  doc.Set("current", std::move(current));
+  Json speedup = Json::Object();
+  speedup.Set("event_loop", Json::Double(Ratio(r.events_per_sec, base.events_per_sec)));
+  speedup.Set("timer_churn", Json::Double(Ratio(r.churn_ops_per_sec, base.churn_ops_per_sec)));
+  speedup.Set("gro_datapath", Json::Double(Ratio(r.packets_per_sec, base.packets_per_sec)));
+  doc.Set("speedup", std::move(speedup));
   std::ofstream out(path);
-  out.precision(1);
-  out << std::fixed;
-  out << "{\n"
-      << "  \"bench\": \"perf_core\",\n"
-      << "  \"baseline\": {\n"
-      << "    \"commit\": \"" << perf_baseline::kCommit << "\",\n"
-      << "    \"event_loop_events_per_sec\": " << perf_baseline::kEventLoopEventsPerSec
-      << ",\n"
-      << "    \"timer_churn_ops_per_sec\": " << perf_baseline::kTimerChurnOpsPerSec << ",\n"
-      << "    \"gro_datapath_packets_per_sec\": "
-      << perf_baseline::kGroDatapathPacketsPerSec << "\n"
-      << "  },\n"
-      << "  \"current\": {\n"
-      << "    \"event_loop_events_per_sec\": " << r.events_per_sec << ",\n"
-      << "    \"timer_churn_ops_per_sec\": " << r.churn_ops_per_sec << ",\n"
-      << "    \"gro_datapath_packets_per_sec\": " << r.packets_per_sec << ",\n"
-      << "    \"gro_datapath_obs_on_packets_per_sec\": " << r.obs_on_packets_per_sec
-      << "\n"
-      << "  },\n"
-      << "  \"speedup\": {\n"
-      << "    \"event_loop\": "
-      << Ratio(r.events_per_sec, perf_baseline::kEventLoopEventsPerSec) << ",\n"
-      << "    \"timer_churn\": "
-      << Ratio(r.churn_ops_per_sec, perf_baseline::kTimerChurnOpsPerSec) << ",\n"
-      << "    \"gro_datapath\": "
-      << Ratio(r.packets_per_sec, perf_baseline::kGroDatapathPacketsPerSec) << "\n"
-      << "  }\n"
-      << "}\n";
+  out << doc.Dump(2) << "\n";
+}
+
+// Emits a fresh bench/perf_baseline.h recording `r` as the new reference.
+// The heap-era and fabric constants are carried forward verbatim so a
+// regeneration never loses the historical reference or perf_fabric's gate
+// number.
+void EmitBaselineHeader(FILE* out, const Results& r, const char* commit) {
+  std::fprintf(
+      out,
+      "// Recorded hot-path baseline for bench/perf_core. Regenerate with\n"
+      "//   cmake --build build --target bench-record\n"
+      "// (or perf_core --baseline-header bench/perf_baseline.h --commit <sha>)\n"
+      "// and note the commit it was measured at.\n"
+      "\n"
+      "#ifndef JUGGLER_BENCH_PERF_BASELINE_H_\n"
+      "#define JUGGLER_BENCH_PERF_BASELINE_H_\n"
+      "\n"
+      "namespace juggler::perf_baseline {\n"
+      "\n"
+      "inline constexpr char kCommit[] = \"%s\";\n"
+      "inline constexpr double kEventLoopEventsPerSec = %.1f;\n"
+      "inline constexpr double kTimerChurnOpsPerSec = %.1f;\n"
+      "inline constexpr double kGroDatapathPacketsPerSec = %.1f;\n"
+      "\n"
+      "// Heap-era reference (binary-heap timers, per-packet dispatch,\n"
+      "// per-MTU heap allocation), measured at commit %s.\n"
+      "inline constexpr char kHeapEraCommit[] = \"%s\";\n"
+      "inline constexpr double kHeapEraEventLoopEventsPerSec = %.1f;\n"
+      "inline constexpr double kHeapEraTimerChurnOpsPerSec = %.1f;\n"
+      "inline constexpr double kHeapEraGroDatapathPacketsPerSec = %.1f;\n"
+      "\n"
+      "// bench/perf_fabric reference: 32-host Clos bulk transfer at ONE\n"
+      "// worker on the sharded engine.\n"
+      "inline constexpr double kFabricClosPacketsPerSec = %.1f;\n"
+      "\n"
+      "}  // namespace juggler::perf_baseline\n"
+      "\n"
+      "#endif  // JUGGLER_BENCH_PERF_BASELINE_H_\n",
+      commit, r.events_per_sec, r.churn_ops_per_sec, r.packets_per_sec,
+      perf_baseline::kHeapEraCommit, perf_baseline::kHeapEraCommit,
+      perf_baseline::kHeapEraEventLoopEventsPerSec,
+      perf_baseline::kHeapEraTimerChurnOpsPerSec,
+      perf_baseline::kHeapEraGroDatapathPacketsPerSec,
+      perf_baseline::kFabricClosPacketsPerSec);
 }
 
 // Minimal schema check: the file parses as one JSON object (brace balance)
@@ -389,11 +458,17 @@ int Main(int argc, char** argv) {
   double gate_tolerance = 0.0;      // 0 = no gate
   double obs_gate_tolerance = 0.0;  // 0 = no obs gate; 0.98 = the 2% bar
   std::string out_path = "BENCH_core.json";
+  std::string header_path;          // non-empty: this run records the baseline
+  std::string commit_label = "unrecorded";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--print-baseline-header") == 0) {
       print_header = true;
+    } else if (std::strcmp(argv[i], "--baseline-header") == 0 && i + 1 < argc) {
+      header_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--commit") == 0 && i + 1 < argc) {
+      commit_label = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
@@ -413,7 +488,9 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_core [--smoke] [--out PATH] [--gate RATIO] "
-                   "[--obs-gate RATIO] [--print-baseline-header] [--check PATH]\n");
+                   "[--obs-gate RATIO] [--print-baseline-header]\n"
+                   "                 [--baseline-header PATH] [--commit LABEL] "
+                   "[--check PATH]\n");
       return 2;
     }
   }
@@ -421,45 +498,19 @@ int Main(int argc, char** argv) {
   const Results r = RunSuite(smoke);
 
   if (print_header) {
-    // The heap-era and fabric constants are carried forward verbatim so a
-    // regeneration never loses the historical reference or perf_fabric's
-    // gate number.
-    std::printf(
-        "// Recorded hot-path baseline for bench/perf_core. Regenerate with\n"
-        "//   perf_core --print-baseline-header > bench/perf_baseline.h\n"
-        "// and note the commit it was measured at.\n"
-        "\n"
-        "#ifndef JUGGLER_BENCH_PERF_BASELINE_H_\n"
-        "#define JUGGLER_BENCH_PERF_BASELINE_H_\n"
-        "\n"
-        "namespace juggler::perf_baseline {\n"
-        "\n"
-        "inline constexpr char kCommit[] = \"FILL_ME\";\n"
-        "inline constexpr double kEventLoopEventsPerSec = %.1f;\n"
-        "inline constexpr double kTimerChurnOpsPerSec = %.1f;\n"
-        "inline constexpr double kGroDatapathPacketsPerSec = %.1f;\n"
-        "\n"
-        "// Heap-era reference (binary-heap timers, per-packet dispatch,\n"
-        "// per-MTU heap allocation), measured at commit %s.\n"
-        "inline constexpr char kHeapEraCommit[] = \"%s\";\n"
-        "inline constexpr double kHeapEraEventLoopEventsPerSec = %.1f;\n"
-        "inline constexpr double kHeapEraTimerChurnOpsPerSec = %.1f;\n"
-        "inline constexpr double kHeapEraGroDatapathPacketsPerSec = %.1f;\n"
-        "\n"
-        "// bench/perf_fabric reference: 32-host Clos bulk transfer at ONE\n"
-        "// worker on the sharded engine.\n"
-        "inline constexpr double kFabricClosPacketsPerSec = %.1f;\n"
-        "\n"
-        "}  // namespace juggler::perf_baseline\n"
-        "\n"
-        "#endif  // JUGGLER_BENCH_PERF_BASELINE_H_\n",
-        r.events_per_sec, r.churn_ops_per_sec, r.packets_per_sec,
-        perf_baseline::kHeapEraCommit, perf_baseline::kHeapEraCommit,
-        perf_baseline::kHeapEraEventLoopEventsPerSec,
-        perf_baseline::kHeapEraTimerChurnOpsPerSec,
-        perf_baseline::kHeapEraGroDatapathPacketsPerSec,
-        perf_baseline::kFabricClosPacketsPerSec);
+    EmitBaselineHeader(stdout, r, "FILL_ME");
     return 0;
+  }
+  if (!header_path.empty()) {
+    FILE* f = std::fopen(header_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_core: cannot write %s\n", header_path.c_str());
+      return 1;
+    }
+    EmitBaselineHeader(f, r, commit_label.c_str());
+    std::fclose(f);
+    std::printf("recorded baseline header %s @ %s\n", header_path.c_str(),
+                commit_label.c_str());
   }
 
   std::printf("\n=== perf_core ===\n%s\n\n",
@@ -477,7 +528,17 @@ int Main(int argc, char** argv) {
   std::printf("%-32s %16s %16.0f %9.2fx\n", "gro_datapath obs-on pkts/sec", "(vs obs-off)",
               r.obs_on_packets_per_sec,
               Ratio(r.obs_on_packets_per_sec, r.packets_per_sec));
-  WriteJson(r, out_path);
+  BaselineView base;
+  if (!header_path.empty()) {
+    // Recording pass: the JSON's reference is the header just written, so
+    // the two artifacts agree (speedups read 1.0 by definition at record
+    // time) without rebuilding against the new constants first.
+    base.commit = commit_label;
+    base.events_per_sec = r.events_per_sec;
+    base.churn_ops_per_sec = r.churn_ops_per_sec;
+    base.packets_per_sec = r.packets_per_sec;
+  }
+  WriteJson(r, base, out_path);
   std::printf("\nwrote %s\n", out_path.c_str());
   int failures = 0;
   if (gate_tolerance > 0.0) {

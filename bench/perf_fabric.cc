@@ -12,8 +12,8 @@
 // every worker count — the bench exits 1 if it is not — so the curve is pure
 // engine scaling, not workload drift.
 //
-// Results are appended to BENCH_core.json as a "fabric_scaling" section
-// (after perf_core's sections; re-running replaces the section in place).
+// Results merge into BENCH_core.json as a "fabric_scaling" section (every
+// other bench's sections are preserved; re-running replaces this one).
 // `hardware_threads` is recorded so a curve measured on a small machine is
 // not mistaken for the engine's ceiling: with fewer cores than workers the
 // extra workers just time-slice one core and the speedup tops out at ~1x.
@@ -35,6 +35,7 @@
 
 #include "bench/bench_common.h"
 #include "bench/perf_baseline.h"
+#include "src/util/json.h"
 #include "src/util/thread_budget.h"
 
 namespace juggler {
@@ -102,56 +103,46 @@ FabricPoint RunFabric(size_t workers, uint64_t bytes_per_pair) {
   return p;
 }
 
-// Replace (or append) the trailing "fabric_scaling" section of the
-// BENCH_core.json written by perf_core. The section is kept last in the file
-// so replacement is a truncate-and-append; a missing file gets a minimal
-// standalone object.
+// Merge the "fabric_scaling" section into the BENCH_core.json written by
+// perf_core, preserving every other bench's sections regardless of
+// ordering; a missing or malformed file becomes a minimal standalone
+// object.
 void WriteFabricSection(const std::vector<FabricPoint>& points, const std::string& path) {
-  std::string text;
+  Json doc = Json::Object();
   {
     std::ifstream in(path);
     if (in) {
       std::stringstream ss;
       ss << in.rdbuf();
-      text = ss.str();
+      std::string error;
+      if (!Json::Parse(ss.str(), &doc, &error)) {
+        std::fprintf(stderr, "perf_fabric: %s unparseable (%s), rewriting\n", path.c_str(),
+                     error.c_str());
+        doc = Json::Object();
+      }
     }
   }
-  const size_t existing = text.find("\"fabric_scaling\"");
-  if (existing != std::string::npos) {
-    const size_t comma = text.rfind(',', existing);
-    text.erase(comma != std::string::npos ? comma : 0);
-  } else {
-    const size_t close = text.rfind('}');
-    if (close != std::string::npos) {
-      text.erase(close);
-    } else {
-      text = "{";
-    }
+  if (doc.Find("bench") == nullptr) {
+    doc.Set("bench", Json::Str("perf_core"));
   }
-  while (!text.empty() && (text.back() == '\n' || text.back() == ' ')) {
-    text.pop_back();
-  }
-  const bool first_section = !text.empty() && text.back() == '{';
-
-  std::ostringstream out;
-  out.precision(1);
-  out << std::fixed;
-  out << text << (first_section ? "\n" : ",\n") << "  \"fabric_scaling\": {\n"
-      << "    \"scenario\": \"clos_32_hosts_16_bulk_pairs\",\n"
-      << "    \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
-      << "    \"baseline_1worker_packets_per_sec\": "
-      << perf_baseline::kFabricClosPacketsPerSec << ",\n"
-      << "    \"points\": [\n";
+  Json section = Json::Object();
+  section.Set("scenario", Json::Str("clos_32_hosts_16_bulk_pairs"));
+  section.Set("hardware_threads", Json::Uint(std::thread::hardware_concurrency()));
+  section.Set("baseline_1worker_packets_per_sec",
+              Json::Double(perf_baseline::kFabricClosPacketsPerSec));
+  Json arr = Json::Array();
   const double base = points.empty() ? 0.0 : points.front().packets_per_sec;
-  for (size_t i = 0; i < points.size(); ++i) {
-    const FabricPoint& p = points[i];
-    out << "      {\"requested_workers\": " << p.requested << ", \"granted_workers\": "
-        << p.workers << ", \"packets_per_sec\": " << p.packets_per_sec
-        << ", \"speedup_vs_1worker\": " << (base > 0 ? p.packets_per_sec / base : 0.0) << "}"
-        << (i + 1 < points.size() ? "," : "") << "\n";
+  for (const FabricPoint& p : points) {
+    Json entry = Json::Object();
+    entry.Set("requested_workers", Json::Uint(p.requested));
+    entry.Set("granted_workers", Json::Uint(p.workers));
+    entry.Set("packets_per_sec", Json::Double(p.packets_per_sec));
+    entry.Set("speedup_vs_1worker", Json::Double(base > 0 ? p.packets_per_sec / base : 0.0));
+    arr.Push(std::move(entry));
   }
-  out << "    ]\n  }\n}\n";
-  std::ofstream(path) << out.str();
+  section.Set("points", std::move(arr));
+  doc.Set("fabric_scaling", std::move(section));
+  std::ofstream(path) << doc.Dump(2) << "\n";
 }
 
 int Main(int argc, char** argv) {

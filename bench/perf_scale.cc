@@ -1,9 +1,10 @@
-// perf_scale: flow-count scaling of the GRO datapath, with tracked output.
+// perf_scale: flow-count scaling of the GRO datapath and the TCP endpoint
+// table, with tracked output.
 //
 // perf_core measures the single-flow fast path; this bench answers the
 // orthogonal question the flow-table rebuild was aimed at — what happens
-// when the table is big. For each flow population (10k and 100k; smaller in
-// --smoke) it drives in-order traffic round-robin across every flow in
+// when the table is big. For each flow population (10k / 100k / 1M; smaller
+// in --smoke) it drives in-order traffic round-robin across every flow in
 // NAPI-budget poll rounds (the worst realistic locality: every packet is a
 // different flow, so every lookup starts cold) and reports
 //
@@ -12,12 +13,21 @@
 //     record slabs) divided by the population — the §3.3 memory-exhaustion
 //     number, now for an engine that actually bounds it.
 //
-// Results append to BENCH_core.json as a "flow_scale" section (the existing
-// perf_core sections are preserved), so one file still tells the whole
-// perf story.
+// A second section does the same for TCP connection state: TcpEndpoint
+// blocks live inline in FlowTable slabs (the Host arrangement), so the
+// bench creates the population, measures slab bytes per connection, and
+// times reversed-tuple demux lookups across the whole table.
+//
+// Results append to BENCH_core.json as "flow_scale" / "tcp_scale" sections
+// (the existing perf_core sections are preserved), so one file still tells
+// the whole perf story.
 //
 // Modes:
-//   perf_scale [--smoke] [--out PATH]   run, merge into BENCH_core.json
+//   perf_scale [--smoke] [--gate] [--out PATH]
+//
+// --gate enforces the memory-scaling contract: bytes per flow (and per
+// connection) at the largest population must stay within 1.2x of the figure
+// one decade down. Exit 1 on violation.
 
 #include <algorithm>
 #include <chrono>
@@ -30,7 +40,10 @@
 #include <vector>
 
 #include "src/core/juggler.h"
+#include "src/gro/flow_table.h"
 #include "src/packet/packet.h"
+#include "src/sim/event_loop.h"
+#include "src/tcp/tcp_endpoint.h"
 #include "src/util/json.h"
 #include "src/util/time.h"
 
@@ -48,6 +61,19 @@ struct BenchGroHost : GroHost {
   void GroDeliver(Segment s) override { delivered.push_back(std::move(s)); }
   void GroArmTimer(TimeNs when) override { armed = when; }
 };
+
+// Distinct five-tuples spread across source addresses and ports, in flow
+// order for round-robin drives.
+std::vector<FiveTuple> MakeTuples(size_t flows) {
+  std::vector<FiveTuple> tuples(flows);
+  for (size_t i = 0; i < flows; ++i) {
+    tuples[i].src_ip = 0x0a000000u + static_cast<uint32_t>(i / 40'000);
+    tuples[i].dst_ip = 0x0a800001;
+    tuples[i].src_port = static_cast<uint16_t>(1024 + i % 40'000);
+    tuples[i].dst_port = 443;
+  }
+  return tuples;
+}
 
 struct ScalePoint {
   size_t flows = 0;
@@ -68,16 +94,8 @@ ScalePoint MeasureAtFlowCount(size_t flows, uint64_t total_packets) {
   ctx.host = &host;
   engine.set_context(ctx);
 
-  // Distinct five-tuples spread across source addresses and ports, plus the
-  // per-flow next sequence number, kept in flow order for the round-robin.
-  std::vector<FiveTuple> tuples(flows);
+  const std::vector<FiveTuple> tuples = MakeTuples(flows);
   std::vector<Seq> next_seq(flows, 0);
-  for (size_t i = 0; i < flows; ++i) {
-    tuples[i].src_ip = 0x0a000000u + static_cast<uint32_t>(i / 40'000);
-    tuples[i].dst_ip = 0x0a800001;
-    tuples[i].src_port = static_cast<uint16_t>(1024 + i % 40'000);
-    tuples[i].dst_port = 443;
-  }
 
   PacketFactory factory;
   constexpr uint64_t kBudget = 64;  // NAPI budget per poll round
@@ -121,10 +139,68 @@ ScalePoint MeasureAtFlowCount(size_t flows, uint64_t total_packets) {
   return point;
 }
 
-// Merges the measured points into `path` under a "flow_scale" key. The rest
-// of the document (perf_core's sections) is preserved; a missing or
-// malformed file becomes a fresh object so the bench works standalone.
-bool MergeIntoJson(const std::vector<ScalePoint>& points, const std::string& path) {
+// ---- TCP endpoint table scaling ----
+
+struct NullSink : PacketSink {
+  void Accept(PacketPtr) override {}
+};
+
+struct TcpScalePoint {
+  size_t connections = 0;
+  double bytes_per_connection = 0;
+  double lookups_per_sec = 0;
+};
+
+// Creates `connections` TcpEndpoints inline in a FlowTable slab — the Host
+// arrangement — then measures slab bytes per connection and the demux
+// lookup rate (reversed-tuple Find across the whole population, round
+// robin: every lookup cold, like the GRO measurement above).
+TcpScalePoint MeasureTcpAtConnCount(size_t connections, uint64_t total_lookups) {
+  EventLoop loop;
+  PacketFactory factory;
+  NullSink sink;
+  NicTx nic(&loop, &factory, NicTxConfig{}, &sink);
+  TcpConfig tcp;
+
+  const std::vector<FiveTuple> tuples = MakeTuples(connections);
+  FlowTable<TcpEndpoint> table;
+  for (const FiveTuple& local : tuples) {
+    table.FindOrEmplace(local, &loop, tcp, local, &nic);
+  }
+
+  // Demux drill: inbound segments carry the peer's tuple, looked up
+  // reversed — exercise exactly that access pattern.
+  std::vector<FiveTuple> inbound(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    inbound[i] = tuples[i].Reversed();
+  }
+  uint64_t found = 0;
+  size_t cursor = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < total_lookups; ++i) {
+    found += table.Find(inbound[cursor].Reversed()) != nullptr;
+    cursor = cursor + 1 == inbound.size() ? 0 : cursor + 1;
+  }
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0);
+  if (found != total_lookups) {
+    std::fprintf(stderr, "perf_scale: tcp demux missed %llu lookups\n",
+                 static_cast<unsigned long long>(total_lookups - found));
+  }
+
+  TcpScalePoint point;
+  point.connections = connections;
+  point.bytes_per_connection =
+      static_cast<double>(table.resident_bytes()) / static_cast<double>(table.size());
+  point.lookups_per_sec = static_cast<double>(total_lookups) / secs;
+  return point;
+}
+
+// Merges the measured points into `path` under "flow_scale" / "tcp_scale"
+// keys. The rest of the document (perf_core's sections) is preserved; a
+// missing or malformed file becomes a fresh object so the bench works
+// standalone.
+bool MergeIntoJson(const std::vector<ScalePoint>& points,
+                   const std::vector<TcpScalePoint>& tcp_points, const std::string& path) {
   Json doc = Json::Object();
   {
     std::ifstream in(path);
@@ -151,6 +227,15 @@ bool MergeIntoJson(const std::vector<ScalePoint>& points, const std::string& pat
     scale.Push(std::move(entry));
   }
   doc.Set("flow_scale", std::move(scale));
+  Json tcp = Json::Array();
+  for (const TcpScalePoint& p : tcp_points) {
+    Json entry = Json::Object();
+    entry.Set("connections", Json::Uint(p.connections));
+    entry.Set("resident_bytes_per_connection", Json::Double(p.bytes_per_connection));
+    entry.Set("demux_lookups_per_sec", Json::Double(p.lookups_per_sec));
+    tcp.Push(std::move(entry));
+  }
+  doc.Set("tcp_scale", std::move(tcp));
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "perf_scale: cannot write %s\n", path.c_str());
@@ -162,20 +247,24 @@ bool MergeIntoJson(const std::vector<ScalePoint>& points, const std::string& pat
 
 int Main(int argc, char** argv) {
   bool smoke = false;
+  bool gate = false;
   std::string out_path = "BENCH_core.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: perf_scale [--smoke] [--out PATH]\n");
+      std::fprintf(stderr, "usage: perf_scale [--smoke] [--gate] [--out PATH]\n");
       return 2;
     }
   }
 
   const std::vector<size_t> populations =
-      smoke ? std::vector<size_t>{1'000, 10'000} : std::vector<size_t>{10'000, 100'000};
+      smoke ? std::vector<size_t>{1'000, 10'000}
+            : std::vector<size_t>{10'000, 100'000, 1'000'000};
   const int reps = smoke ? 1 : 3;
 
   std::printf("=== perf_scale ===\n%s\n\n",
@@ -199,10 +288,53 @@ int Main(int argc, char** argv) {
     points.push_back(best);
   }
 
-  if (!MergeIntoJson(points, out_path)) {
+  std::printf("\n%12s %22s %18s\n", "connections", "resident bytes/conn", "demux/sec");
+  std::vector<TcpScalePoint> tcp_points;
+  for (size_t conns : populations) {
+    const uint64_t lookups = std::max<uint64_t>(2 * conns, smoke ? 128'000 : 512'000);
+    TcpScalePoint best;
+    for (int r = 0; r < reps; ++r) {
+      const TcpScalePoint cur = MeasureTcpAtConnCount(conns, lookups);
+      if (cur.lookups_per_sec > best.lookups_per_sec) {
+        best = cur;
+      }
+    }
+    std::printf("%12zu %22.1f %18.0f\n", best.connections, best.bytes_per_connection,
+                best.lookups_per_sec);
+    tcp_points.push_back(best);
+  }
+
+  if (!MergeIntoJson(points, tcp_points, out_path)) {
     return 1;
   }
-  std::printf("\nmerged flow_scale into %s\n", out_path.c_str());
+  std::printf("\nmerged flow_scale + tcp_scale into %s\n", out_path.c_str());
+
+  if (gate) {
+    // Memory must stay flat across the top decade: the largest population's
+    // per-entry figure within 1.2x of the previous point's.
+    const ScalePoint& hi = points.back();
+    const ScalePoint& mid = points[points.size() - 2];
+    const TcpScalePoint& thi = tcp_points.back();
+    const TcpScalePoint& tmid = tcp_points[tcp_points.size() - 2];
+    bool ok = true;
+    if (hi.bytes_per_flow > 1.2 * mid.bytes_per_flow) {
+      std::fprintf(stderr,
+                   "GATE FAIL: bytes/flow grew %zu->%zu flows: %.1f -> %.1f (>1.2x)\n",
+                   mid.flows, hi.flows, mid.bytes_per_flow, hi.bytes_per_flow);
+      ok = false;
+    }
+    if (thi.bytes_per_connection > 1.2 * tmid.bytes_per_connection) {
+      std::fprintf(stderr,
+                   "GATE FAIL: bytes/conn grew %zu->%zu conns: %.1f -> %.1f (>1.2x)\n",
+                   tmid.connections, thi.connections, tmid.bytes_per_connection,
+                   thi.bytes_per_connection);
+      ok = false;
+    }
+    if (!ok) {
+      return 1;
+    }
+    std::printf("gate: memory flat to %zu flows (<=1.2x per decade)\n", hi.flows);
+  }
   return 0;
 }
 

@@ -290,11 +290,11 @@ TimeNs Juggler::ReceiveBatch(PacketPtr* packets, size_t count) {
   // Warm the flow-table home slots of every distinct flow in the batch
   // before processing starts, so lookups probe lines already in flight.
   // Consecutive same-flow packets share one prefetch: within a run only the
-  // first lookup probes at all (the rest hit the last_entry_ memo), so a
-  // single-flow stream pays one 16-byte compare per packet and one hash per
-  // batch, while many-flow interleaves (Fig. 10) get every slot warming in
-  // parallel. Per-packet processing is untouched — order, costs and trace
-  // events match the one-at-a-time path exactly.
+  // first lookup probes at all (the rest hit the last_entry_ memo), while
+  // cross-flow interleaves (Fig. 10, the perf_scale round-robin) get every
+  // distinct flow's slot line warming in parallel before the first fold
+  // touches it. Per-packet observable behavior is untouched — order, costs,
+  // stats and trace events match the one-at-a-time path exactly.
   for (size_t i = 0; i < count; ++i) {
     if (i == 0 || !(packets[i]->flow == packets[i - 1]->flow)) {
       table_.Prefetch(packets[i]->flow);
@@ -303,59 +303,10 @@ TimeNs Juggler::ReceiveBatch(PacketPtr* packets, size_t count) {
   TimeNs cost = 0;
   size_t i = 0;
   while (i < count) {
-    // Tight path for the dominant in-order pattern: a run of ACK-flagged
-    // data packets each extending the tail of last_entry_'s single head
-    // run. Every packet admitted below would have taken Receive()'s
-    // head-run fast path and come back kMerged with nothing to flush
-    // (strictly under the size cap, no PSH/URG, matching metadata, and with
-    // one run in the queue CoalesceForward has nothing to do), so folding
-    // the per-packet counter and builder updates into one commit is
-    // observably identical — same stats, same costs, same (absent) trace
-    // events — while the checks run out of registers.
-    FlowEntry* entry = last_entry_;
-    if (entry != nullptr && entry->ooo_queue.size() == 1) {
-      SegmentBuilder& front = entry->ooo_queue.front();
-      if (front.start_seq() == entry->seq_next && !front.needs_flush()) {
-        const uint32_t token = front.options_token();
-        const bool ce = front.segment().ce_mark;
-        uint32_t payload = front.payload_len();
-        Seq end = front.end_seq();
-        uint32_t bytes = 0;
-        uint32_t mtus = 0;
-        uint8_t flags_or = 0;
-        Seq ack_seq = 0;
-        uint32_t ack_rwnd = 0;
-        TimeNs last_rx = 0;
-        while (i < count) {
-          const Packet& p = *packets[i];
-          if (!(p.flow == entry->key) || p.flags != kFlagAck || p.payload_len == 0 ||
-              p.seq != end || p.options_token != token || p.ce_mark != ce ||
-              payload + p.payload_len >= config_.max_segment_payload) {
-            break;
-          }
-          payload += p.payload_len;
-          end += p.payload_len;
-          bytes += p.payload_len;
-          ++mtus;
-          flags_or |= p.flags;
-          ack_seq = p.ack_seq;
-          ack_rwnd = p.ack_rwnd;
-          if (p.nic_rx_time > last_rx) {
-            last_rx = p.nic_rx_time;
-          }
-          packets[i].reset();  // consumed, exactly where Receive() would free it
-          ++i;
-        }
-        if (mtus > 0) {
-          front.ExtendTail(bytes, mtus, flags_or, ack_seq, ack_rwnd, last_rx);
-          stats_.packets_in += mtus;
-          stats_.data_packets_in += mtus;
-          jstats_.buffered_bytes_in += bytes;
-          jstats_.enqueued_bytes_by_phase[static_cast<int>(entry->phase)] += bytes;
-          cost += static_cast<TimeNs>(mtus) * costs_->gro_per_packet;
-          continue;
-        }
-      }
+    const size_t folded = TryFoldRun(packets + i, count - i, &cost);
+    if (folded > 0) {
+      i += folded;
+      continue;
     }
     // Qualified call: static dispatch, so Receive() inlines into this loop
     // instead of re-entering the vtable per packet — the whole point of the
@@ -365,6 +316,149 @@ TimeNs Juggler::ReceiveBatch(PacketPtr* packets, size_t count) {
     ++i;
   }
   return cost;
+}
+
+size_t Juggler::TryFoldRun(PacketPtr* packets, size_t count, TimeNs* cost) {
+  // Folds a leading run of ACK-only data packets from one flow, each
+  // extending the tail of one existing OOO run, into a single ExtendTail
+  // commit plus batched stats, cost and packet release. The hard rule: a
+  // batch boundary is observably identical to back-to-back arrivals, so
+  // every admission check below mirrors the exact path per-packet Receive()
+  // takes — same lookup/memo decisions, same stats, same modeled CPU cost,
+  // same (absent) trace events — and any packet that would do anything else
+  // (create a flow, start a fresh run, flush, duplicate-deliver, cross a
+  // metadata boundary) is left for the per-packet path.
+  const Packet& first = *packets[0];
+  if (first.flags != kFlagAck || first.payload_len == 0) {
+    return 0;  // pure ACKs, SYN/FIN, PSH/URG: direct delivery or eager flush
+  }
+  // Resolve the entry with the same memo-then-probe decisions Receive()
+  // makes: a memo hit skips both the probe and the table's clock-referenced
+  // mark, so eviction candidate order stays identical.
+  FlowEntry* entry = last_entry_;
+  if (entry == nullptr || !(entry->key == first.flow)) {
+    entry = table_.Find(first.flow);
+    if (entry == nullptr) {
+      return 0;  // flow creation: full path
+    }
+    last_entry_ = entry;
+  }
+  auto& queue = entry->ooo_queue;
+  const size_t runs = queue.size();
+  if (runs == 0) {
+    return 0;  // post-merge reactivation / first packet of a fresh entry
+  }
+  // Locate the run whose tail the packet extends: the per-flow cursor (the
+  // run this flow's previous fold extended) first, else the tail-ward scan
+  // InsertPacket would make. Run end sequences are strictly increasing, so
+  // at most one run can match.
+  size_t j;
+  if (entry->fold_run_hint < runs && queue[entry->fold_run_hint].end_seq() == first.seq) {
+    j = entry->fold_run_hint;
+  } else {
+    size_t idx = runs;
+    while (idx > 0 && SeqAfter(queue[idx - 1].start_seq(), first.seq)) {
+      --idx;
+    }
+    if (idx == 0 || queue[idx - 1].end_seq() != first.seq) {
+      return 0;  // front insert, fresh run, or overlap: full path
+    }
+    j = idx - 1;
+  }
+  // A packet landing exactly on the next run's start is a duplicate to
+  // Receive() (its byte range overlaps that run), not a tail merge.
+  const bool has_next = j + 1 < runs;
+  const Seq next_start = has_next ? queue[j + 1].start_seq() : Seq{};
+  if (has_next && !SeqAfter(next_start, first.seq)) {
+    return 0;
+  }
+  const bool head_in_seq = j == 0 && queue.front().start_seq() == entry->seq_next;
+  if (head_in_seq && queue.front().needs_flush()) {
+    return 0;  // Receive()'s head path would flush right after the merge
+  }
+  if (!head_in_seq && queue.front().start_seq() == entry->seq_next &&
+      RunReady(queue.front(), config_.max_segment_payload)) {
+    return 0;  // an in-sequence ready head run flushes after every insert
+  }
+
+  SegmentBuilder& run = queue[j];
+  const uint32_t token = run.options_token();
+  const bool ce = run.segment().ce_mark;
+  const uint32_t max_payload = config_.max_segment_payload;
+  uint32_t payload = run.payload_len();
+  Seq end = run.end_seq();
+  uint32_t bytes = 0;
+  uint32_t mtus = 0;
+  uint8_t flags_or = 0;
+  Seq ack_seq = 0;
+  uint32_t ack_rwnd = 0;
+  TimeNs last_rx = 0;
+  size_t i = 0;
+  while (i < count) {
+    const Packet& p = *packets[i];
+    if (!(p.flow == entry->key) || p.flags != kFlagAck || p.payload_len == 0 ||
+        p.seq != end || p.options_token != token || p.ce_mark != ce) {
+      break;
+    }
+    if (head_in_seq) {
+      // Strict bound: after the merge the head must still not be
+      // flush-ready (RunReady is payload + kMss > cap, and Receive()'s head
+      // path flushes the moment it is), so the fold stops one MTU short of
+      // the cap. Admitting right up to the cap would sail past the point
+      // where per-packet delivery flushes — observable with sub-MSS
+      // packets.
+      if (payload + p.payload_len + kMss > max_payload) {
+        break;
+      }
+    } else if (payload + p.payload_len > max_payload) {
+      break;  // TryMerge would refuse (kRefusedSize)
+    }
+    payload += p.payload_len;
+    end += p.payload_len;
+    bytes += p.payload_len;
+    ++mtus;
+    flags_or |= p.flags;
+    ack_seq = p.ack_seq;
+    ack_rwnd = p.ack_rwnd;
+    if (p.nic_rx_time > last_rx) {
+      last_rx = p.nic_rx_time;
+    }
+    ++i;
+    if (has_next && !SeqAfter(next_start, end)) {
+      // The merged tail reached the next run's start: commit now so
+      // CoalesceForward runs at exactly the packet where per-packet
+      // delivery would have coalesced (possibly absorbing that run's
+      // needs_flush flag and changing what flushes next).
+      break;
+    }
+  }
+  if (mtus == 0) {
+    return 0;
+  }
+  run.ExtendTail(bytes, mtus, flags_or, ack_seq, ack_rwnd, last_rx);
+  // Batched free: one pool load and one watermark check for the whole run,
+  // instead of a deleter call per packet.
+  PacketPool::ReleaseBatch(packets, i);
+  stats_.packets_in += mtus;
+  stats_.data_packets_in += mtus;
+  jstats_.buffered_bytes_in += bytes;
+  jstats_.enqueued_bytes_by_phase[static_cast<int>(entry->phase)] += bytes;
+  TimeNs per_packet = costs_->gro_per_packet;
+  if (!head_in_seq) {
+    // Receive() classifies these as out-of-order and reaches the run via
+    // InsertPacket's tail-ward scan: charge the identical insert + per-run
+    // search cost it would have accumulated.
+    stats_.ooo_packets += mtus;
+    per_packet += costs_->juggler_ooo_insert +
+                  static_cast<TimeNs>(runs - 1 - j) * costs_->juggler_ooo_search_per_run;
+  }
+  *cost += static_cast<TimeNs>(mtus) * per_packet;
+  entry->fold_run_hint = static_cast<uint32_t>(j);
+  CoalesceForward(&queue, j, max_payload);
+  if (head_in_seq && RunReady(queue.front(), max_payload)) {
+    *cost += FlushPrefix(entry, /*ready_only=*/true, FlushReason::kFlags);
+  }
+  return i;
 }
 
 TimeNs Juggler::Receive(PacketPtr packet) {

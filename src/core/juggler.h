@@ -92,6 +92,11 @@ struct FlowEntry {
   // Distinguishes reincarnations of the same five-tuple after eviction, so
   // auditors tracking per-flow history don't compare across generations.
   uint64_t generation = 0;
+  // Per-flow run cursor for the batch fold: index into ooo_queue of the run
+  // the last folded packet extended. Pure hint — validated (bounds + exact
+  // tail match) before use, so stale values after flushes, coalesces or
+  // inserts cost one failed compare, never correctness.
+  uint32_t fold_run_hint = 0;
   IntrusiveListNode list_node;
 };
 
@@ -224,6 +229,14 @@ class Juggler : public GroEngine {
   // merging/coalescing runs. Returns CPU cost; sets *duplicate when the
   // packet overlapped an existing run and was delivered directly.
   TimeNs InsertPacket(FlowEntry* entry, const Packet& p, bool* duplicate);
+
+  // Batch-fold fast path (see ReceiveBatch): folds a leading run of same-
+  // flow ACK-only data packets, each extending the tail of one existing OOO
+  // run, into a single ExtendTail commit plus batched stats/cost/release.
+  // Returns the number of packets consumed (0 = not foldable; the caller
+  // runs the per-packet path for packets[0]). Adds the exact per-packet CPU
+  // cost Receive() would have charged to *cost.
+  size_t TryFoldRun(PacketPtr* packets, size_t count, TimeNs* cost);
 
   // Flushes contiguous runs starting at seq_next. When `ready_only`, stops
   // at the first run that is neither full nor flagged; otherwise flushes the

@@ -110,6 +110,37 @@ class FlowTable {
 
   T& operator[](const FiveTuple& key) { return *FindOrCreate(key).first; }
 
+  // FindOrCreate for value types without a default constructor: on first
+  // sight the record is placement-new'd from `args...`. Arguments are only
+  // forwarded (and only evaluated into a T) on the miss path, so callers may
+  // pass construction-time resources unconditionally.
+  template <typename... Args>
+  std::pair<T*, bool> FindOrEmplace(const FiveTuple& key, Args&&... args) {
+    const uint64_t hash = key.Hash();
+    uint32_t slot = ProbeFor(key, hash);
+    if (slots_[slot].rec != kNilRec && slots_[slot].rec != kTombRec) {
+      Record& r = RecordAt(slots_[slot].rec);
+      r.referenced = true;
+      return {r.value(), false};
+    }
+    if ((size_ + tombstones_ + 1) * 8 >= slots_.size() * 7) {
+      Rehash(size_ * 2 >= slots_.size() ? slots_.size() * 2 : slots_.size());
+      slot = ProbeFor(key, hash);
+    }
+    const uint32_t rec = AcquireRecord();
+    Record& r = RecordAt(rec);
+    ::new (static_cast<void*>(r.storage)) T(std::forward<Args>(args)...);
+    r.key = key;
+    r.referenced = true;
+    LinkBack(rec);
+    if (slots_[slot].rec == kTombRec) {
+      --tombstones_;
+    }
+    slots_[slot] = Slot{hash, key, rec};
+    ++size_;
+    return {RecordAt(rec).value(), true};
+  }
+
   // Starts pulling the key's home slot toward the cache without touching it.
   // Batched receive paths call this a few packets ahead of the Find(), so
   // the probe's first (usually only) line is in flight while earlier

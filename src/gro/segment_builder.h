@@ -85,11 +85,14 @@ class SegmentBuilder {
   }
 
   // Batched tail extension: `mtus` contiguous packets totalling `bytes`,
-  // each of which the caller guarantees would have returned kMerged from
-  // TryMerge (matching metadata, no PSH/URG, under the size cap). `ack` and
-  // `rwnd` are the LAST packet's values (latest cumulative ACK wins) and
+  // each of which the caller guarantees would have merged via TryMerge with
+  // matching metadata and no PSH/URG — kMerged, or (for a run parked off the
+  // flush path, where "full" forces nothing) a final packet landing exactly
+  // on the size cap, whose kMergedFinal performs these same updates. `ack`
+  // and `rwnd` are the LAST packet's values (latest cumulative ACK wins) and
   // `flags` / `last_rx` the OR / max across the run — exactly what that
-  // many individual TryMerge calls would have left behind.
+  // many individual TryMerge calls would have left behind. needs_flush is
+  // untouched, which is why PSH/URG packets are the caller's problem.
   void ExtendTail(uint32_t bytes, uint32_t mtus, uint8_t flags, Seq ack, uint32_t rwnd,
                   TimeNs last_rx) {
     segment_.payload_len += bytes;

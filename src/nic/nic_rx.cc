@@ -110,7 +110,15 @@ void NicRx::DoPoll(RxQueue* q, bool session_entry) {
     q->ring.pop_front();
     cost += costs_->driver_per_packet;
   }
-  cost += q->gro->ReceiveBatch(q->batch.data(), q->batch.size());
+  if (config_.per_packet_dispatch) [[unlikely]] {
+    // Reference arm for determinism tests: the batched hand-off below must
+    // be observably identical to this packet-by-packet loop.
+    for (PacketPtr& p : q->batch) {
+      cost += q->gro->Receive(std::move(p));
+    }
+  } else {
+    cost += q->gro->ReceiveBatch(q->batch.data(), q->batch.size());
+  }
   if (q->batch.size() == config_.napi_budget && !q->ring.empty()) {
     ++stats_.napi_budget_exhausted;
     if (config_.recorder != nullptr) {

@@ -64,6 +64,11 @@ struct NicRxConfig {
   // >= 0 forces all packets to one queue (the paper aims all flows at a
   // single RX queue in the CPU experiments); -1 uses RSS hashing.
   int force_queue = -1;
+  // Hand each poll round to the GRO engine packet-by-packet (Receive) instead
+  // of as one batch (ReceiveBatch). The two must be observably identical —
+  // same segments, costs, and stats — so this exists only as the reference
+  // arm of determinism regression tests; leave it off everywhere else.
+  bool per_packet_dispatch = false;
   // Optional flight recorder handed to the GRO engines and the interrupt
   // path; null leaves tracing off.
   FlightRecorder* recorder = nullptr;

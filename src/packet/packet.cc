@@ -1,5 +1,7 @@
 #include "src/packet/packet.h"
 
+#include <algorithm>
+
 namespace juggler {
 
 static_assert(kMss + kPerPacketWireOverhead > kMtuBytes,
@@ -36,6 +38,38 @@ void PacketPool::Trim() {
     delete p;
   }
   free_.clear();
+  compact_watermark_ = kCompactFloor;
+  compact_last_acquired_ = acquired_;
+}
+
+void PacketPool::ReleaseRemote(Packet* p) noexcept {
+  Packet* head = remote_free_.load(std::memory_order_relaxed);
+  do {
+    p->pool_next = head;
+  } while (!remote_free_.compare_exchange_weak(head, p, std::memory_order_release,
+                                               std::memory_order_relaxed));
+}
+
+void PacketPool::CompactFreeList() noexcept {
+  const uint64_t demand = acquired_ - compact_last_acquired_;
+  compact_last_acquired_ = acquired_;
+  if (demand >= free_.size()) {
+    // The whole freelist turned over since the last decision: this is a busy
+    // steady state, not a storm. Raise the bar so the derivation stops
+    // firing; nothing is freed.
+    compact_watermark_ = free_.size() * 2;
+    return;
+  }
+  const size_t keep =
+      std::max<size_t>(kCompactFloor / 2, static_cast<size_t>(demand));
+  if (keep < free_.size()) {
+    for (size_t i = keep; i < free_.size(); ++i) {
+      delete free_[i];
+    }
+    compact_freed_ += free_.size() - keep;
+    free_.resize(keep);
+  }
+  compact_watermark_ = std::max(kCompactFloor, keep * 2);
 }
 
 }  // namespace juggler

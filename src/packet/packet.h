@@ -263,18 +263,52 @@ class PacketPool {
     return p;
   }
 
-  void Release(Packet* p) noexcept { free_.push_back(p); }
+  // Local-origin release: the inlined fast path on every packet free. One
+  // freelist push plus one compare against the compaction watermark; the
+  // compaction itself (and the cross-thread Treiber path below) stays
+  // out-of-line so this inlines to a handful of instructions at call sites.
+  void Release(Packet* p) noexcept {
+    free_.push_back(p);
+    if (free_.size() >= compact_watermark_) [[unlikely]] {
+      CompactFreeList();
+    }
+  }
+
+  // Batch release for a folded run: one thread-local pool load and one
+  // watermark check hoisted out of the loop, instead of per packet. Consumes
+  // (nulls) every non-null PacketPtr in [ptrs, ptrs + n); null entries are
+  // skipped, so callers may hand over a partially consumed batch.
+  static void ReleaseBatch(PacketPtr* ptrs, size_t n) noexcept {
+    PacketPool* pool = tls_pool_;
+    for (size_t i = 0; i < n; ++i) {
+      Packet* p = ptrs[i].release();
+      if (p == nullptr) {
+        continue;
+      }
+      PacketPool* origin = p->pool_origin;
+      if (origin == nullptr) [[likely]] {
+        if (pool != nullptr) [[likely]] {
+          pool->free_.push_back(p);
+        } else {
+          delete p;
+        }
+      } else if (origin == pool) {
+        pool->free_.push_back(p);
+      } else {
+        origin->ReleaseRemote(p);
+      }
+    }
+    if (pool != nullptr && pool->free_.size() >= pool->compact_watermark_) [[unlikely]] {
+      pool->CompactFreeList();
+    }
+  }
 
   // Cross-thread release: push onto the origin pool's lock-free return stack
   // (Treiber MPSC — many releasing threads, one draining owner). The CAS
   // releases the packet's contents to the owner's acquire in DrainRemote.
-  void ReleaseRemote(Packet* p) noexcept {
-    Packet* head = remote_free_.load(std::memory_order_relaxed);
-    do {
-      p->pool_next = head;
-    } while (!remote_free_.compare_exchange_weak(head, p, std::memory_order_release,
-                                                 std::memory_order_relaxed));
-  }
+  // Out-of-line: the cross-shard path is cold next to local recycling, and
+  // keeping it out keeps the inlined Release small.
+  void ReleaseRemote(Packet* p) noexcept;
 
   // Frees the freelist's storage (keeps stats). Outstanding packets are
   // unaffected; they re-enter the (now empty) freelist when released.
@@ -284,6 +318,10 @@ class PacketPool {
   // Acquisitions served from the freelist rather than the allocator.
   uint64_t recycled() const { return acquired_ - fresh_; }
   size_t free_size() const { return free_.size(); }
+  // Storage freed by watermark compaction (not by Trim), and the current
+  // watermark — observability for the bounded-growth guarantee.
+  uint64_t compact_freed() const { return compact_freed_; }
+  size_t compact_watermark() const { return compact_watermark_; }
 
  private:
   // Cold path: constructs the calling thread's pool and caches its address.
@@ -301,6 +339,18 @@ class PacketPool {
     }
   }
 
+  // Watermark compaction (cold; see Release). When the freelist reaches the
+  // watermark, measure the demand since the last decision (acquisitions
+  // served): a fully cycling freelist just doubles the watermark so busy
+  // steady states stop re-deriving, while storage beyond recent demand — a
+  // release storm with nobody acquiring — is freed down to max(floor/2,
+  // demand). Each trim is O(watermark) deletes after >= watermark/2 pushes,
+  // so the amortized cost per release is O(1), and after any storm the
+  // retained freelist is bounded by ~2x the floor-or-demand, never by the
+  // storm's size.
+  void CompactFreeList() noexcept;
+  static constexpr size_t kCompactFloor = 4096;
+
   // constinit: provably no dynamic initialization, so access compiles to a
   // bare thread-relative load instead of a call to the TLS init wrapper.
   static constinit thread_local PacketPool* tls_pool_;
@@ -312,6 +362,9 @@ class PacketPool {
   PacketPool* const origin_stamp_ = nullptr;
   uint64_t acquired_ = 0;
   uint64_t fresh_ = 0;  // acquisitions that had to hit the allocator
+  size_t compact_watermark_ = kCompactFloor;
+  uint64_t compact_last_acquired_ = 0;
+  uint64_t compact_freed_ = 0;
 };
 
 inline void PacketDeleter::operator()(Packet* p) const noexcept {

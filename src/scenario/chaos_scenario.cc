@@ -90,9 +90,11 @@ NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, StackKind stack, Aud
   nopt.seed = opt.seed * 2654435761ULL + static_cast<uint64_t>(opt.family);
   nopt.sender.rx.int_coalesce = opt.int_coalesce;
   nopt.sender.rx.recorder = sender_rec;
+  nopt.sender.rx.per_packet_dispatch = opt.per_packet_dispatch;
   nopt.sender.gro_factory = MakeStandardGroFactory();
   nopt.receiver.rx.int_coalesce = opt.int_coalesce;
   nopt.receiver.rx.recorder = receiver_rec;
+  nopt.receiver.rx.per_packet_dispatch = opt.per_packet_dispatch;
 
   JugglerConfig jcfg;
   jcfg.inseq_timeout = opt.inseq_timeout;

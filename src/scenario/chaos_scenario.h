@@ -79,6 +79,11 @@ struct ChaosOptions {
   size_t shards = 0;
   // Per-(src,dst) shard-mailbox capacity; 0 = ShardMailbox default fuse.
   size_t shard_mailbox_capacity = 0;
+  // Dispatch each NIC poll round to GRO packet-by-packet instead of as one
+  // batch (NicRxConfig::per_packet_dispatch, both hosts). Digests must be
+  // bit-identical either way — determinism regression tests flip this to
+  // pin the batched fold path to per-packet semantics.
+  bool per_packet_dispatch = false;
 
   // ---- Forensics knobs. Every default reproduces the historical run
   // ---- bit-for-bit; the fuzzer samples these, and a repro bundle pins them.

@@ -22,15 +22,14 @@ Host::Host(EventLoop* loop, PacketFactory* factory, const CpuCostModel* costs,
 
 TcpEndpoint* Host::CreateEndpoint(const FiveTuple& local) {
   JUG_CHECK(local.src_ip == config_.ip);
-  auto endpoint = std::make_unique<TcpEndpoint>(loop_, config_.tcp, local, nic_tx_.get());
-  TcpEndpoint* raw = endpoint.get();
+  auto [endpoint, created] =
+      endpoints_.FindOrEmplace(local, loop_, config_.tcp, local, nic_tx_.get());
+  JUG_CHECK(created);
   // Receive-window backpressure reflects the backlog of the core this
   // flow's segments are processed on.
   const size_t core = AppCoreIndex(local.Reversed());
-  raw->set_rwnd_pressure([this, core] { return pending_per_core_[core]; });
-  auto [it, inserted] = endpoints_.emplace(local, std::move(endpoint));
-  JUG_CHECK(inserted);
-  return raw;
+  endpoint->set_rwnd_pressure([this, core] { return pending_per_core_[core]; });
+  return endpoint;
 }
 
 void Host::OnSegment(Segment segment) {
@@ -59,13 +58,13 @@ void Host::OnSegmentBatch(Segment* segments, size_t count) {
 
 void Host::Demux(const Segment& segment) {
   // Inbound segments carry the sender's tuple; our endpoint owns the mirror.
-  auto it = endpoints_.find(segment.flow.Reversed());
-  if (it == endpoints_.end()) {
+  TcpEndpoint* endpoint = endpoints_.Find(segment.flow.Reversed());
+  if (endpoint == nullptr) {
     ++stray_segments_;
     JUG_DEBUG("%s: stray segment for unknown flow", config_.name.c_str());
     return;
   }
-  it->second->OnSegment(segment);
+  endpoint->OnSegment(segment);
 }
 
 EndpointPair ConnectHosts(Host* a, Host* b, uint16_t src_port, uint16_t dst_port) {

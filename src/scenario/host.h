@@ -14,11 +14,11 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cpu/cost_model.h"
 #include "src/cpu/cpu_core.h"
+#include "src/gro/flow_table.h"
 #include "src/nic/nic_rx.h"
 #include "src/nic/nic_tx.h"
 #include "src/sim/event_loop.h"
@@ -69,6 +69,13 @@ class Host : public SegmentSink {
   }
   uint64_t pending_rx_bytes() const { return pending_rx_bytes_; }
   uint64_t stray_segments() const { return stray_segments_; }
+  size_t endpoint_count() const { return endpoints_.size(); }
+  // Table-owned bytes for the endpoint slab (bench/perf_scale's TCP
+  // bytes-per-connection numerator). TcpEndpoint values live inline in the
+  // slab records, so this covers the TCP blocks themselves; heap owned by
+  // their members (SACK scoreboards, RTT FIFO) is lazy and zero for idle
+  // connections.
+  size_t endpoint_table_bytes() const { return endpoints_.resident_bytes(); }
   uint32_t ip() const { return config_.ip; }
   const std::string& name() const { return config_.name; }
   const TcpConfig& tcp_config() const { return config_.tcp; }
@@ -89,8 +96,13 @@ class Host : public SegmentSink {
   std::unique_ptr<NicTx> nic_tx_;
   std::unique_ptr<NicRx> nic_rx_;
   // Keyed by the *local* endpoint tuple; inbound segments carry the peer's
-  // tuple and are looked up reversed.
-  std::unordered_map<FiveTuple, std::unique_ptr<TcpEndpoint>, FiveTupleHash> endpoints_;
+  // tuple and are looked up reversed. FlowTable, not unordered_map of
+  // unique_ptrs: endpoints live inline in pinned 64-record slabs (no
+  // per-endpoint node + control-block allocations, no pointer chase on
+  // demux), which is what keeps bytes-per-connection flat to the 1M-flow
+  // bench point. Slab pinning gives the same address stability the
+  // unique_ptr indirection used to provide.
+  FlowTable<TcpEndpoint> endpoints_;
   uint64_t pending_rx_bytes_ = 0;
   uint64_t stray_segments_ = 0;
 };

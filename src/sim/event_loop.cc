@@ -9,6 +9,12 @@
 
 namespace juggler {
 
+TimerId EventLoop::CommitDue(TimeNs when, TimerId id) {
+  due_.push_back(Event{when, next_order_++, id});
+  std::push_heap(due_.begin(), due_.end(), EventLater{});
+  return id;
+}
+
 void EventLoop::DrainStaged() {
   for (const Event& e : staged_) {
     TimerSlot& slot = slots_[SlotIndexOf(e.id)];

@@ -42,6 +42,7 @@ TEST(PacketTest, FactoryAssignsUniqueIds) {
 
 TEST(PacketPoolTest, RecyclesStorage) {
   PacketPool& pool = PacketPool::ThreadLocal();
+  pool.Trim();  // earlier tests may have left releases on the freelist
   const uint64_t acquired_before = pool.acquired();
   const uint64_t recycled_before = pool.recycled();
 
@@ -144,6 +145,145 @@ TEST(PacketPoolTest, TrimFreesStorageKeepsStats) {
   // The pool still serves (now freshly allocated) packets after a trim.
   PacketPtr p = AllocPacket();
   EXPECT_NE(p.get(), nullptr);
+}
+
+TEST(PacketPoolTest, ReleaseStormCompactsToBoundedFreelist) {
+  // A release storm — many packets freed with nobody acquiring — must not
+  // leave the freelist holding the storm's worth of storage. The watermark
+  // policy frees down to max(floor/2, recent demand) once the list crosses
+  // the watermark, so after any storm the retained storage is bounded by
+  // ~2x the floor, independent of storm size.
+  PacketPool& pool = PacketPool::ThreadLocal();
+  pool.Trim();  // reset watermark + demand accounting to a known state
+  const size_t floor = pool.compact_watermark();
+  const uint64_t freed_before = pool.compact_freed();
+
+  const size_t storm = 4 * floor;
+  std::vector<PacketPtr> held;
+  held.reserve(storm);
+  for (size_t i = 0; i < storm; ++i) {
+    held.push_back(AllocPacket());
+  }
+  held.clear();  // the storm: every release lands on the freelist
+
+  EXPECT_LT(pool.free_size(), 2 * floor) << "freelist retained the storm";
+  EXPECT_GT(pool.compact_freed(), freed_before) << "compaction never fired";
+  // The pool still serves packets normally afterwards.
+  PacketPtr p = AllocPacket();
+  EXPECT_NE(p.get(), nullptr);
+  pool.Trim();
+}
+
+TEST(PacketPoolTest, BusySteadyStateNeverCompacts) {
+  // Acquire/release churn where the freelist keeps turning over is demand,
+  // not a storm: compaction must not fire and throw away storage that is
+  // about to be reused.
+  PacketPool& pool = PacketPool::ThreadLocal();
+  pool.Trim();
+  const uint64_t freed_before = pool.compact_freed();
+  for (int round = 0; round < 200; ++round) {
+    std::vector<PacketPtr> batch;
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(AllocPacket());
+    }
+    batch.clear();
+  }
+  EXPECT_EQ(pool.compact_freed(), freed_before);
+  pool.Trim();
+}
+
+TEST(PacketPoolTest, ReleaseBatchRecyclesAndConsumes) {
+  PacketPool& pool = PacketPool::ThreadLocal();
+  pool.Trim();
+  const uint64_t recycled_before = pool.recycled();
+
+  std::vector<PacketPtr> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back(AllocPacket());
+  }
+  batch[7].reset();  // partially consumed batches carry null entries
+  const size_t free_before = pool.free_size();
+  PacketPool::ReleaseBatch(batch.data(), batch.size());
+  EXPECT_EQ(pool.free_size(), free_before + 31);
+  for (const PacketPtr& p : batch) {
+    EXPECT_EQ(p.get(), nullptr) << "ReleaseBatch must null every entry";
+  }
+  // The released storage actually recycles.
+  PacketPtr p = AllocPacket();
+  EXPECT_EQ(pool.recycled(), recycled_before + 1);
+  p.reset();
+  pool.Trim();
+}
+
+TEST(PacketPoolTest, ReleaseBatchRoutesStampedPacketsToOrigin) {
+  // Mixed-origin batch: ambient (unstamped) packets recycle locally, while
+  // packets stamped by a CrossThreadReturnTag pool that is NOT the ambient
+  // pool take the remote Treiber path back to their origin — even when the
+  // releasing thread is the same OS thread (shard domains swap pools, not
+  // threads).
+  PacketPool origin{PacketPool::CrossThreadReturnTag{}};
+  PacketPool& ambient = PacketPool::ThreadLocal();
+  ambient.Trim();
+
+  std::vector<PacketPtr> batch;
+  PacketPool* prev = PacketPool::SwapThreadPool(&origin);
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(AllocPacket());  // stamped with &origin
+  }
+  PacketPool::SwapThreadPool(prev);
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(AllocPacket());  // ambient, unstamped
+  }
+  for (const PacketPtr& p : batch) {
+    ASSERT_NE(p.get(), nullptr);
+  }
+
+  const size_t ambient_before = ambient.free_size();
+  PacketPool::ReleaseBatch(batch.data(), batch.size());
+  EXPECT_EQ(ambient.free_size(), ambient_before + 8) << "ambient packets recycle locally";
+  EXPECT_EQ(origin.free_size(), 0u) << "remote returns park on the stack until drained";
+
+  // The origin drains its return stack on demand: 8 acquisitions come back
+  // recycled, not fresh.
+  prev = PacketPool::SwapThreadPool(&origin);
+  const uint64_t recycled_before = origin.recycled();
+  std::vector<PacketPtr> again;
+  for (int i = 0; i < 8; ++i) {
+    again.push_back(AllocPacket());
+  }
+  EXPECT_EQ(origin.recycled(), recycled_before + 8);
+  again.clear();
+  PacketPool::SwapThreadPool(prev);
+}
+
+TEST(PacketPoolTest, RemoteReturnChurnStaysBoundedAndRecycles) {
+  // Sustained cross-pool churn: every round hands packets out of the origin
+  // pool and releases them while another pool is ambient. The origin must
+  // recycle all of them (no allocation leak into the ambient pool) and the
+  // freelists must not grow with the number of rounds.
+  PacketPool origin{PacketPool::CrossThreadReturnTag{}};
+  PacketPool& ambient = PacketPool::ThreadLocal();
+  ambient.Trim();
+  const size_t ambient_baseline = ambient.free_size();
+
+  uint64_t fresh_after_warmup = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<PacketPtr> batch;
+    PacketPool* prev = PacketPool::SwapThreadPool(&origin);
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(AllocPacket());
+    }
+    PacketPool::SwapThreadPool(prev);
+    batch.clear();  // released with ambient pool current -> remote return
+    if (round == 0) {
+      fresh_after_warmup = origin.acquired() - origin.recycled();
+    }
+  }
+  // After the first round primed the return stack, later rounds recycle:
+  // the origin never allocated more than ~2 rounds' worth of storage.
+  EXPECT_LE(origin.acquired() - origin.recycled(), fresh_after_warmup + 64);
+  EXPECT_EQ(ambient.free_size(), ambient_baseline)
+      << "stamped packets leaked into the ambient pool";
 }
 
 TEST(SegmentBuilderTest, StartFromPacket) {

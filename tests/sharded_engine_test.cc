@@ -168,6 +168,31 @@ TEST_F(ShardedEngineTest, ChaosDigestInvariantUnderChecksumDrops) {
   ExpectShardCountInvariant(FaultFamily::kCorrupt);
 }
 
+// Batch-dispatch determinism: handing a poll round to GRO as one
+// ReceiveBatch (the production path, with fold short-cuts) must be
+// observably identical to the packet-by-packet reference loop — byte-equal
+// digests for both engines, at every shard count, under a reordering-heavy
+// fault mix. Any fold that changes a flush decision, a stat, or a cost
+// shows up here as a digest split.
+TEST_F(ShardedEngineTest, ChaosDigestInvariantUnderPerPacketDispatch) {
+  ChaosOptions opt;
+  opt.family = FaultFamily::kMixed;
+  opt.seed = 11;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    opt.shards = shards;
+    opt.per_packet_dispatch = false;
+    const ChaosResult batched = RunChaos(opt);
+    EXPECT_TRUE(batched.ok) << "batched shards=" << shards;
+    opt.per_packet_dispatch = true;
+    const ChaosResult per_packet = RunChaos(opt);
+    EXPECT_TRUE(per_packet.ok) << "per-packet shards=" << shards;
+    EXPECT_EQ(batched.juggler.digest, per_packet.juggler.digest)
+        << "juggler batched vs per-packet, shards=" << shards;
+    EXPECT_EQ(batched.baseline.digest, per_packet.baseline.digest)
+        << "baseline batched vs per-packet, shards=" << shards;
+  }
+}
+
 // ------------------------------------------------ Bounded mailboxes ------
 
 TEST(ShardMailboxTest, CapacityBoundsBufferAndCountsOverflow) {

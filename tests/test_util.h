@@ -71,6 +71,14 @@ class GroHarness : public GroHost {
     p->nic_rx_time = now_;
     return engine_->Receive(std::move(p));
   }
+  // Batch delivery, as NicRx::DoPoll hands a poll round off. Stamps rx
+  // times like Receive; the engine consumes (nulls) the pointers.
+  TimeNs ReceiveBatch(PacketPtr* packets, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      packets[i]->nic_rx_time = now_;
+    }
+    return engine_->ReceiveBatch(packets, count);
+  }
   TimeNs PollComplete() { return engine_->PollComplete(); }
 
   // Fires the armed timer if its deadline has passed.
