@@ -17,6 +17,8 @@
 //   ./build/examples/chaos_runner --trace out.json # Chrome/Perfetto trace
 //   ./build/examples/chaos_runner --app rpc        # RPC workload w/ retries
 //   ./build/examples/chaos_runner --app bulk-transfer --stack presto
+//   ./build/examples/chaos_runner --overload       # incast/churn/brownout
+//                                                  # pressure + recovery audit
 //
 // Exit status: 0 when every run is clean, 1 on any violation or mismatch —
 // the failing (family, seed) pair printed is a complete repro recipe.
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   uint64_t bytes = 1'500'000;
   size_t shards = 0;
   bool metrics = false;
+  bool overload = false;
   AppWorkloadKind app_kind = AppWorkloadKind::kNone;
   bool single_stack = false;
   StackKind stack = StackKind::kJuggler;
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
       trace_path = next("--trace");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else if (std::strcmp(argv[i], "--seeds") == 0) {
       seeds = std::atoi(next("--seeds"));
     } else if (std::strcmp(argv[i], "--base-seed") == 0) {
@@ -107,7 +112,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "usage: %s [--seeds N] [--base-seed S] [--bytes B] "
                            "[--family NAME] [--shards N] [--app KIND] [--stack NAME] "
-                           "[--metrics] [--trace FILE]\n",
+                           "[--overload] [--metrics] [--trace FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -136,6 +141,33 @@ int main(int argc, char** argv) {
         opt.app.chunk_bytes = 49'152;
         opt.app.transfer_bytes_per_session = 3 * opt.app.chunk_bytes;
       }
+      if (overload) {
+        // One window of each kind: an incast storm, an ephemeral-flow churn
+        // flood, then a memory brown-out that shrinks the caps mid-run.
+        opt.overload.pool_capacity = 4'096;
+        OverloadWindow incast;
+        incast.kind = OverloadKind::kIncast;
+        incast.start = Ms(5);
+        incast.end = Ms(15);
+        incast.flows = 96;
+        incast.packets_per_flow = 4;
+        incast.burst_interval = Us(150);
+        opt.overload.windows.push_back(incast);
+        OverloadWindow churn;
+        churn.kind = OverloadKind::kChurn;
+        churn.start = Ms(20);
+        churn.end = Ms(30);
+        churn.flows = 64;
+        churn.packets_per_flow = 2;
+        churn.burst_interval = Us(200);
+        opt.overload.windows.push_back(churn);
+        OverloadWindow brownout;
+        brownout.kind = OverloadKind::kBrownout;
+        brownout.start = Ms(35);
+        brownout.end = Ms(45);
+        brownout.cap_pct = 25;
+        opt.overload.windows.push_back(brownout);
+      }
 
       if (single_stack) {
         // One engine, no differential: --stack picks which GRO path the
@@ -158,6 +190,17 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(er.app.aborted),
                       static_cast<unsigned long long>(er.app.retries),
                       static_cast<unsigned long long>(er.app.duplicates_suppressed));
+        }
+        if (overload) {
+          std::printf("    overload[%s]: %llu injected, %llu inject-drops, %llu exhausted, "
+                      "%llu ring-drops, peak pool %llu, leaked %lld\n",
+                      StackKindName(stack),
+                      static_cast<unsigned long long>(er.overload.injected_packets),
+                      static_cast<unsigned long long>(er.overload.inject_alloc_drops),
+                      static_cast<unsigned long long>(er.overload_pool_exhausted),
+                      static_cast<unsigned long long>(er.overload_ring_drops),
+                      static_cast<unsigned long long>(er.overload_peak_pool),
+                      static_cast<long long>(er.overload_pool_leaked));
         }
         if (metrics) {
           std::printf("%s", er.obs.metrics.ToTable().c_str());
@@ -197,6 +240,16 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.juggler.app.aborted),
                     static_cast<unsigned long long>(r.juggler.app.retries),
                     static_cast<unsigned long long>(r.juggler.app.duplicates_suppressed));
+      }
+      if (overload) {
+        std::printf("    overload: %llu injected, %llu inject-drops, %llu exhausted, "
+                    "%llu ring-drops, peak pool %llu, leaked %lld\n",
+                    static_cast<unsigned long long>(r.juggler.overload.injected_packets),
+                    static_cast<unsigned long long>(r.juggler.overload.inject_alloc_drops),
+                    static_cast<unsigned long long>(r.juggler.overload_pool_exhausted),
+                    static_cast<unsigned long long>(r.juggler.overload_ring_drops),
+                    static_cast<unsigned long long>(r.juggler.overload_peak_pool),
+                    static_cast<long long>(r.juggler.overload_pool_leaked));
       }
       if (shards >= 1) {
         std::printf("    shards: %zu workers, %llu windows, %llu crossings;",

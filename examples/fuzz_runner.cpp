@@ -61,13 +61,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--app-prob must be in [0, 1]\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--overload-prob") == 0) {
+      opt.limits.overload_prob = std::atof(next("--overload-prob"));
+      if (opt.limits.overload_prob < 0.0 || opt.limits.overload_prob > 1.0) {
+        std::fprintf(stderr, "--overload-prob must be in [0, 1]\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--plant-app-stale-token") == 0) {
       opt.plant_app_stale_token = true;  // validates the app forensics path
     } else {
       std::fprintf(stderr,
                    "usage: %s [--specs N] [--seed S] [--timeout-ms T] [--budget-ms B]\n"
-                   "          [--out DIR] [--app-prob P] [--plant-app-stale-token]\n"
-                   "          [--no-shrink] [--no-obs] [--quiet]\n",
+                   "          [--out DIR] [--app-prob P] [--overload-prob P]\n"
+                   "          [--plant-app-stale-token] [--no-shrink] [--no-obs] [--quiet]\n",
                    argv[0]);
       return 2;
     }

@@ -47,7 +47,7 @@ const char* FlowPhaseName(FlowPhase phase) {
 }
 
 Juggler::Juggler(const CpuCostModel* costs, const JugglerConfig& config)
-    : costs_(costs), config_(config) {
+    : costs_(costs), config_(config), nominal_max_flows_(config.max_flows) {
   JUG_CHECK(config_.max_flows >= 1);
   JUG_CHECK(config_.inseq_timeout >= 0 && config_.ofo_timeout >= 0);
 }
@@ -694,6 +694,19 @@ TimeNs Juggler::OnTimer() {
   return cost;
 }
 
+TimeNs Juggler::ApplyFlowCapPressure(size_t max_flows) {
+  config_.max_flows = max_flows < 1 ? nominal_max_flows_ : max_flows;
+  TimeNs cost = 0;
+  while (table_.size() > config_.max_flows) {
+    ++jstats_.pressure_evictions;
+    cost += EvictOne();
+  }
+  // Evictions may have removed the flows whose deadlines the armed timer was
+  // tracking (or all of them).
+  RearmTimer();
+  return cost;
+}
+
 namespace {
 
 const char* PhaseIndexName(int phase) {
@@ -728,6 +741,7 @@ void PublishJugglerStats(const JugglerStats& stats, const std::string& label,
   registry->AddCounter("juggler.evictions_inactive", label, stats.evictions_inactive);
   registry->AddCounter("juggler.evictions_active", label, stats.evictions_active);
   registry->AddCounter("juggler.evictions_loss", label, stats.evictions_loss);
+  registry->AddCounter("juggler.pressure_evictions", label, stats.pressure_evictions);
   registry->AddCounter("juggler.evicted_bytes", label, stats.evicted_bytes);
   registry->AddCounter("juggler.inseq_timeout_flushes", label, stats.inseq_timeout_flushes);
   registry->AddCounter("juggler.ofo_timeout_events", label, stats.ofo_timeout_events);

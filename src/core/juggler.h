@@ -105,6 +105,8 @@ struct JugglerStats {
   uint64_t evictions_inactive = 0;
   uint64_t evictions_active = 0;
   uint64_t evictions_loss = 0;
+  // Evictions forced by ApplyFlowCapPressure (a subset of the three above).
+  uint64_t pressure_evictions = 0;
   uint64_t inseq_timeout_flushes = 0;
   uint64_t ofo_timeout_events = 0;
   uint64_t seq_next_backward_moves = 0;
@@ -136,6 +138,12 @@ class Juggler : public GroEngine {
   TimeNs ReceiveBatch(PacketPtr* packets, size_t count) override;
   TimeNs PollComplete() override;
   TimeNs OnTimer() override;
+  // Overload pressure: lower the §3.3 hard cap and evict down to it
+  // immediately, in the §4.3 order (0 restores the configured nominal cap).
+  // Held bytes are flushed, never discarded, so the conservation law
+  // survives brown-outs. The new cap persists — flows created under
+  // pressure stay bounded by it until the next call changes it.
+  TimeNs ApplyFlowCapPressure(size_t max_flows) override;
   std::string name() const override { return "juggler"; }
 
   const JugglerConfig& config() const { return config_; }
@@ -265,6 +273,9 @@ class Juggler : public GroEngine {
 
   const CpuCostModel* costs_;
   JugglerConfig config_;
+  // The configured max_flows, so ApplyFlowCapPressure(0) can undo a
+  // brown-out's shrink of config_.max_flows.
+  const size_t nominal_max_flows_;
   JugglerStats jstats_;
 
   // Open-addressing table with slab-pinned entries: FlowEntry addresses are

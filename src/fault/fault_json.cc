@@ -170,4 +170,76 @@ bool FlapWindowsFromJson(const Json& json, std::vector<FlapWindow>* out, std::st
   return true;
 }
 
+Json OverloadWindowToJson(const OverloadWindow& w) {
+  Json j = Json::Object();
+  j.Set("start_ns", TimeField(w.start));
+  j.Set("end_ns", TimeField(w.end));
+  j.Set("kind", Json::Str(OverloadKindName(w.kind)));
+  j.Set("flows", Json::Int(w.flows));
+  j.Set("packets_per_flow", Json::Int(w.packets_per_flow));
+  j.Set("burst_interval_ns", TimeField(w.burst_interval));
+  j.Set("cap_pct", Json::Int(w.cap_pct));
+  return j;
+}
+
+bool OverloadWindowFromJson(const Json& json, OverloadWindow* out, std::string* error) {
+  if (!json.is_object()) {
+    return SetError(error, "overload window must be an object");
+  }
+  OverloadWindow w;
+  std::string kind;
+  int64_t flows = w.flows;
+  int64_t ppf = w.packets_per_flow;
+  int64_t cap_pct = w.cap_pct;
+  if (!json.GetInt("start_ns", &w.start) || !json.GetInt("end_ns", &w.end) ||
+      !json.GetString("kind", &kind) || !json.GetInt("flows", &flows) ||
+      !json.GetInt("packets_per_flow", &ppf) ||
+      !json.GetInt("burst_interval_ns", &w.burst_interval) ||
+      !json.GetInt("cap_pct", &cap_pct)) {
+    return SetError(error, "overload window has a wrong-typed field");
+  }
+  if (!ParseOverloadKind(kind, &w.kind)) {
+    return SetError(error, "overload window kind unknown: " + kind);
+  }
+  if (w.start < 0 || w.end < w.start) {
+    return SetError(error, "overload window times invalid (need 0 <= start <= end)");
+  }
+  if (flows < 0 || ppf < 1 || w.burst_interval < 1) {
+    return SetError(error, "overload window injection fields invalid");
+  }
+  if (cap_pct < 1 || cap_pct > 100) {
+    return SetError(error, "overload window cap_pct outside [1, 100]");
+  }
+  w.flows = static_cast<uint32_t>(flows);
+  w.packets_per_flow = static_cast<uint32_t>(ppf);
+  w.cap_pct = static_cast<uint32_t>(cap_pct);
+  *out = w;
+  return true;
+}
+
+Json OverloadWindowsToJson(const std::vector<OverloadWindow>& windows) {
+  Json arr = Json::Array();
+  for (const OverloadWindow& w : windows) {
+    arr.Push(OverloadWindowToJson(w));
+  }
+  return arr;
+}
+
+bool OverloadWindowsFromJson(const Json& json, std::vector<OverloadWindow>* out,
+                             std::string* error) {
+  if (!json.is_array()) {
+    return SetError(error, "overload windows must be an array");
+  }
+  std::vector<OverloadWindow> windows;
+  for (const Json& jw : json.items()) {
+    OverloadWindow w;
+    if (!OverloadWindowFromJson(jw, &w, error)) {
+      return false;
+    }
+    windows.push_back(w);
+  }
+  *out = std::move(windows);
+  return true;
+}
+
 }  // namespace juggler

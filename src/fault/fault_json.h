@@ -20,6 +20,7 @@
 
 #include "src/fault/fault_stage.h"
 #include "src/fault/link_flapper.h"
+#include "src/fault/overload.h"
 #include "src/util/json.h"
 
 namespace juggler {
@@ -35,6 +36,13 @@ bool FlapWindowFromJson(const Json& json, FlapWindow* out, std::string* error);
 
 Json FlapWindowsToJson(const std::vector<FlapWindow>& windows);
 bool FlapWindowsFromJson(const Json& json, std::vector<FlapWindow>* out, std::string* error);
+
+Json OverloadWindowToJson(const OverloadWindow& window);
+bool OverloadWindowFromJson(const Json& json, OverloadWindow* out, std::string* error);
+
+Json OverloadWindowsToJson(const std::vector<OverloadWindow>& windows);
+bool OverloadWindowsFromJson(const Json& json, std::vector<OverloadWindow>* out,
+                             std::string* error);
 
 }  // namespace juggler
 

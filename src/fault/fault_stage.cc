@@ -79,12 +79,18 @@ void FaultStage::Accept(PacketPtr packet) {
   }
   if (p->dup_prob > 0 && rng_.NextBool(p->dup_prob)) {
     // Identical copy, back to back — same id, same metadata, as a replayed
-    // frame would be. Delivered after the original.
-    PacketPtr dup = ClonePacket(*packet);
-    ++stats_.duplicates;
-    Trace(kFaultCodeDuplicate, *packet);
-    Forward(std::move(packet));
-    Forward(std::move(dup));
+    // frame would be. Delivered after the original. Under pool pressure the
+    // duplicate is shed (counted) and the original still forwards.
+    PacketPtr dup = TryClonePacket(*packet);
+    if (dup != nullptr) {
+      ++stats_.duplicates;
+      Trace(kFaultCodeDuplicate, *packet);
+      Forward(std::move(packet));
+      Forward(std::move(dup));
+    } else {
+      ++stats_.dup_pool_exhausted;
+      Forward(std::move(packet));
+    }
     return;
   }
   if (p->delay_prob > 0 && rng_.NextBool(p->delay_prob)) {
@@ -120,6 +126,7 @@ void PublishFaultStats(const FaultStats& stats, const std::string& label,
   registry->AddCounter("fault.burst_drops", label, stats.burst_drops);
   registry->AddCounter("fault.bursts_started", label, stats.bursts_started);
   registry->AddCounter("fault.duplicates", label, stats.duplicates);
+  registry->AddCounter("fault.dup_pool_exhausted", label, stats.dup_pool_exhausted);
   registry->AddCounter("fault.corruptions", label, stats.corruptions);
   registry->AddCounter("fault.truncations", label, stats.truncations);
   registry->AddCounter("fault.delayed", label, stats.delayed);

@@ -125,6 +125,9 @@ struct FaultStats {
   uint64_t burst_drops = 0;  // subset of drops belonging to a burst
   uint64_t bursts_started = 0;
   uint64_t duplicates = 0;
+  // Duplication faults skipped because the packet pool was at its capacity
+  // cap (overload policy: shed the duplicate, forward the original).
+  uint64_t dup_pool_exhausted = 0;
   uint64_t corruptions = 0;
   uint64_t truncations = 0;
   uint64_t delayed = 0;

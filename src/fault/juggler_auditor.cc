@@ -52,6 +52,15 @@ TimeNs JugglerAuditor::OnTimer() {
   return cost;
 }
 
+TimeNs JugglerAuditor::ApplyFlowCapPressure(size_t max_flows) {
+  const TimeNs cost = inner_->ApplyFlowCapPressure(max_flows);
+  stats_ = inner_->stats();
+  // Pressure evictions rewire all three lists at once — exactly when a
+  // structural bug would slip in.
+  CheckInvariants("flow_cap_pressure");
+  return cost;
+}
+
 void JugglerAuditor::CheckInvariants(const char* when) {
   ++audits_;
   const Juggler::AuditView view = inner_->Audit();

@@ -48,6 +48,7 @@ class JugglerAuditor : public GroEngine {
   TimeNs ReceiveBatch(PacketPtr* packets, size_t count) override;
   TimeNs PollComplete() override;
   TimeNs OnTimer() override;
+  TimeNs ApplyFlowCapPressure(size_t max_flows) override;
   std::string name() const override { return "juggler+audit"; }
 
   Juggler* inner() { return inner_.get(); }

@@ -47,6 +47,9 @@ bool IsKnownSpecKey(const std::string& key) {
       "app_backoff_max_ns",
       "app_jitter_pct",
       "plant_stale_token",
+      "overload",
+      "overload_pool_capacity",
+      "overload_ring_capacity",
   };
   for (const char* known : kKnown) {
     if (key == known) {
@@ -80,6 +83,9 @@ ChaosOptions ScenarioSpec::ToChaosOptions() const {
   opt.use_explicit_flaps = use_explicit_flaps;
   opt.flap_override = flaps;
   opt.plant_flush_skew = plant_flush_skew;
+  opt.overload.windows = overload_windows;
+  opt.overload.pool_capacity = static_cast<size_t>(overload_pool_capacity);
+  opt.overload.ring_capacity = static_cast<size_t>(overload_ring_capacity);
   opt.app = app;
   return opt;
 }
@@ -102,7 +108,7 @@ size_t ScenarioSpec::TimelineEvents() const {
       use_explicit_faults ? faults.windows().size() : DeriveChaosFaults(opt).windows().size();
   const size_t flap_windows =
       use_explicit_flaps ? flaps.size() : DeriveChaosFlaps(opt).size();
-  return fault_windows + flap_windows;
+  return fault_windows + flap_windows + overload_windows.size();
 }
 
 Json ScenarioSpec::ToJson() const {
@@ -156,6 +162,13 @@ Json ScenarioSpec::ToJson() const {
     if (app.plant_stale_token) {
       j.Set("plant_stale_token", Json::Bool(true));
     }
+  }
+  // Overload block only when pressure windows ride the run, same contract
+  // as the app block: pre-overload specs re-serialize byte-identically.
+  if (!overload_windows.empty()) {
+    j.Set("overload", OverloadWindowsToJson(overload_windows));
+    j.Set("overload_pool_capacity", Json::Uint(overload_pool_capacity));
+    j.Set("overload_ring_capacity", Json::Uint(overload_ring_capacity));
   }
   // Unknown members last, in the order the original document carried them.
   // One normalization pass later, re-serialization is a fixed point.
@@ -256,6 +269,17 @@ bool ScenarioSpec::FromJson(const Json& json, ScenarioSpec* out, std::string* er
       return false;
     }
   }
+  // Overload block: absent-tolerant like the app block.
+  if (const Json* o = json.Find("overload")) {
+    if (!OverloadWindowsFromJson(*o, &s.overload_windows, error)) {
+      return false;
+    }
+  }
+  if (!json.GetUint("overload_pool_capacity", &s.overload_pool_capacity) ||
+      !json.GetUint("overload_ring_capacity", &s.overload_ring_capacity)) {
+    *error = "spec: overload field with wrong type";
+    return false;
+  }
   for (const auto& member : json.members()) {
     if (!IsKnownSpecKey(member.first)) {
       s.extra.Set(member.first, member.second);
@@ -306,6 +330,30 @@ ScenarioSpec SampleScenarioSpec(Rng* rng, const SampleLimits& limits) {
     a.issue_interval = app_rng.NextInRange(Ms(1), Ms(3));
     // Retry policy stays at the defaults: generous deadlines so a correct
     // stack always completes — the fuzzer hunts bugs, not resource limits.
+  }
+  // Overload draws come from their own seed-derived stream for the same
+  // reason: a pinned fuzz seed samples the same non-overload fields whether
+  // or not this build knows about overload windows.
+  Rng ovl_rng(s.seed ^ 0x0B'E7D0'AD5E'ED11ULL);
+  if (ovl_rng.NextBool(limits.overload_prob)) {
+    s.overload_pool_capacity = 1'024 + ovl_rng.NextBounded(7'169);  // [1 Ki, 8 Ki]
+    const int count = 1 + static_cast<int>(ovl_rng.NextBounded(2));
+    // Sequential non-overlapping windows early in the run: pressure flares
+    // and subsides while the transfer is in flight, and the tail of
+    // time_limit is always pressure-free recovery time.
+    TimeNs cursor = Ms(5) + ovl_rng.NextInRange(0, Ms(10));
+    for (int i = 0; i < count; ++i) {
+      OverloadWindow w;
+      w.kind = static_cast<OverloadKind>(ovl_rng.NextBounded(3));
+      w.start = cursor;
+      w.end = w.start + ovl_rng.NextInRange(Ms(5), Ms(25));
+      w.flows = 32 + static_cast<uint32_t>(ovl_rng.NextBounded(97));            // [32, 128]
+      w.packets_per_flow = 2 + static_cast<uint32_t>(ovl_rng.NextBounded(5));   // [2, 6]
+      w.burst_interval = ovl_rng.NextInRange(Us(100), Us(400));
+      w.cap_pct = 10 + static_cast<uint32_t>(ovl_rng.NextBounded(41));          // [10, 50]
+      s.overload_windows.push_back(w);
+      cursor = w.end + ovl_rng.NextInRange(Ms(2), Ms(10));
+    }
   }
   return s;
 }

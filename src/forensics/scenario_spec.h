@@ -58,6 +58,13 @@ struct ScenarioSpec {
   bool use_explicit_flaps = false;
   std::vector<FlapWindow> flaps;
 
+  // Overload pressure windows (always explicit — never seed-derived at run
+  // time, so the shrinker edits them freely) plus the pool/ring caps in
+  // force while any window is configured. Empty = overload machinery off.
+  std::vector<OverloadWindow> overload_windows;
+  uint64_t overload_pool_capacity = 8192;
+  uint64_t overload_ring_capacity = 0;
+
   // Test-only planted defects, for validating the forensics pipeline
   // itself: a conservation-law off-by-one in the Juggler flush accounting,
   // and a child that wedges in an infinite loop (exercises the watchdog).
@@ -106,6 +113,10 @@ struct SampleLimits {
   // own seed, so raising or lowering this never shifts the non-app fields
   // of any sampled spec.
   double app_prob = 0.3;
+  // Probability a sampled spec carries overload pressure windows. Like the
+  // app draws, overload draws come from their own seed-derived stream, so
+  // this knob never shifts any other field of a sampled spec.
+  double overload_prob = 0.25;
 };
 
 // One random spec, every decision drawn from `rng`.

@@ -22,8 +22,10 @@ class Shrinker {
       progressed = false;
       progressed |= DropFaultWindows(&result.spec);
       progressed |= DropFlapWindows(&result.spec);
+      progressed |= DropOverloadWindows(&result.spec);
       progressed |= HalveWindowSpans(&result.spec);
       progressed |= HalveMagnitudes(&result.spec);
+      progressed |= WeakenOverload(&result.spec);
       progressed |= ShrinkWorkload(&result.spec);
     }
     result.runs = runs_;
@@ -139,6 +141,73 @@ class Shrinker {
     return any;
   }
 
+  bool DropOverloadWindows(ScenarioSpec* spec) {
+    bool any = false;
+    bool again = true;
+    while (again && !Exhausted()) {
+      again = false;
+      for (size_t skip = 0; skip < spec->overload_windows.size(); ++skip) {
+        ScenarioSpec candidate = *spec;
+        candidate.overload_windows.erase(candidate.overload_windows.begin() +
+                                         static_cast<ptrdiff_t>(skip));
+        if (StillFails(candidate)) {
+          *spec = std::move(candidate);
+          any = again = true;
+          break;
+        }
+        if (Exhausted()) {
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  // Per overload window: halve the span, then the injection intensity
+  // (flows, packets per flow), then relax a brown-out's severity toward
+  // 100%. Finally try relaxing the global caps — a repro that still fails
+  // with a deeper pool has nothing to do with the cap value.
+  bool WeakenOverload(ScenarioSpec* spec) {
+    bool any = false;
+    auto try_edit = [&](auto edit) {
+      if (Exhausted()) {
+        return;
+      }
+      ScenarioSpec candidate = *spec;
+      edit(&candidate);
+      if (StillFails(candidate)) {
+        *spec = std::move(candidate);
+        any = true;
+      }
+    };
+    for (size_t i = 0; i < spec->overload_windows.size(); ++i) {
+      const OverloadWindow& w = spec->overload_windows[i];
+      if (w.end - w.start > Ms(1)) {
+        try_edit([i](ScenarioSpec* s) {
+          OverloadWindow& e = s->overload_windows[i];
+          e.end = e.start + (e.end - e.start) / 2;
+        });
+      }
+      if (spec->overload_windows[i].flows > 1) {
+        try_edit([i](ScenarioSpec* s) { s->overload_windows[i].flows /= 2; });
+      }
+      if (spec->overload_windows[i].packets_per_flow > 1) {
+        try_edit([i](ScenarioSpec* s) { s->overload_windows[i].packets_per_flow /= 2; });
+      }
+      if (spec->overload_windows[i].kind == OverloadKind::kBrownout &&
+          spec->overload_windows[i].cap_pct < 100) {
+        try_edit([i](ScenarioSpec* s) {
+          OverloadWindow& e = s->overload_windows[i];
+          e.cap_pct = std::min<uint32_t>(100, e.cap_pct * 2);
+        });
+      }
+    }
+    if (!spec->overload_windows.empty() && spec->overload_pool_capacity != 0) {
+      try_edit([](ScenarioSpec* s) { s->overload_pool_capacity *= 2; });
+    }
+    return any;
+  }
+
   // Halve fault probabilities and delay magnitudes per window.
   bool HalveMagnitudes(ScenarioSpec* spec) {
     bool any = false;
@@ -237,6 +306,32 @@ class Shrinker {
       try_edit([](AppWorkloadOptions* a) {
         a->transfer_bytes_per_session =
             std::max(a->chunk_bytes, a->transfer_bytes_per_session / 2);
+      });
+    }
+    // Retry-policy knobs: a minimal repro should not keep the full policy
+    // that found the bug. Kill the jitter first (it is pure noise in a
+    // repro), then walk attempts / backoff / deadline toward their floors.
+    if (spec->app.retry.jitter_pct > 0) {
+      try_edit([](AppWorkloadOptions* a) { a->retry.jitter_pct = 0; });
+    }
+    if (spec->app.retry.max_attempts > 1) {
+      try_edit([](AppWorkloadOptions* a) {
+        a->retry.max_attempts = std::max<uint32_t>(1, a->retry.max_attempts / 2);
+      });
+    }
+    if (spec->app.retry.backoff_base > 0) {
+      try_edit([](AppWorkloadOptions* a) {
+        a->retry.backoff_base /= 2;
+        a->retry.backoff_max = std::max(a->retry.backoff_base, a->retry.backoff_max / 2);
+      });
+    }
+    if (spec->app.retry.deadline / 2 >= spec->app.retry.attempt_timeout) {
+      try_edit([](AppWorkloadOptions* a) { a->retry.deadline /= 2; });
+    }
+    if (spec->app.retry.attempt_timeout > Ms(2)) {
+      try_edit([](AppWorkloadOptions* a) {
+        a->retry.attempt_timeout = std::max<TimeNs>(Ms(2), a->retry.attempt_timeout / 2);
+        a->retry.deadline = std::max(a->retry.deadline, a->retry.attempt_timeout);
       });
     }
     return any;

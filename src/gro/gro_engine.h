@@ -129,6 +129,18 @@ class GroEngine {
   // The armed timer fired. Default: nothing (engines without timeouts).
   virtual TimeNs OnTimer() { return 0; }
 
+  // Overload pressure: shrink the engine's flow-state budget to `max_flows`
+  // and evict down to it now, flushing (never discarding) any held bytes.
+  // Engines that keep persistent flow state override this with their own
+  // eviction policy (Juggler uses the §4.3 order); engines whose state is
+  // naturally bounded per poll round (standard/linked-list GRO clear their
+  // tables at poll completion) keep the no-op. Returns the CPU cost of the
+  // evictions, charged to the RX core like any other GRO work.
+  virtual TimeNs ApplyFlowCapPressure(size_t max_flows) {
+    (void)max_flows;
+    return 0;
+  }
+
   virtual std::string name() const = 0;
 
   const GroStats& stats() const { return stats_; }

@@ -110,6 +110,29 @@ TimeNs PrestoGro::Receive(PacketPtr packet) {
   return cost;
 }
 
+TimeNs PrestoGro::EnforceFlowCap() {
+  TimeNs cost = 0;
+  while (flow_cap_ != 0 && flows_.size() > flow_cap_) {
+    // Copy the key out: Erase destroys the record that owns it.
+    const FiveTuple key = *flows_.ClockCandidate();
+    FlowState* flow = flows_.Find(key);
+    cost += FlushInseq(flow, FlushReason::kEviction);
+    for (auto& [offset, run] : flow->ooo) {
+      flow->expected = SeqMax(flow->expected, run.end_seq());
+      Deliver(run.Take(), FlushReason::kEviction);
+      cost += costs_->gro_flush_per_segment;
+    }
+    ++stats_.evictions;
+    flows_.Erase(key);
+  }
+  return cost;
+}
+
+TimeNs PrestoGro::ApplyFlowCapPressure(size_t max_flows) {
+  flow_cap_ = max_flows;
+  return EnforceFlowCap();
+}
+
 TimeNs PrestoGro::PollComplete() {
   TimeNs cost = 0;
   const TimeNs now = Now();
@@ -126,6 +149,9 @@ TimeNs PrestoGro::PollComplete() {
       flow.ooo.clear();
     }
   });
+  // Keep enforcing an active brown-out cap: flows created since the pressure
+  // call would otherwise regrow the table without bound mid-window.
+  cost += EnforceFlowCap();
   return cost;
 }
 

@@ -34,6 +34,14 @@ class PrestoGro : public GroEngine {
 
   TimeNs Receive(PacketPtr packet) override;
   TimeNs PollComplete() override;
+  // Overload pressure only: Presto-as-published never evicts (the §3.3
+  // memory-exhaustion concern this reproduction deliberately preserves), so
+  // a brown-out is the one place the table gets a cap. Victims are chosen by
+  // the flow table's second-chance clock; their held runs are flushed (in
+  // serial order), never discarded. The cap persists — PollComplete keeps
+  // enforcing it — until a later call changes it; 0 restores the engine's
+  // nominal budget, which for Presto means "unbounded" again.
+  TimeNs ApplyFlowCapPressure(size_t max_flows) override;
   std::string name() const override { return "presto_gro"; }
 
   size_t flow_table_size() const { return flows_.size(); }
@@ -55,10 +63,14 @@ class PrestoGro : public GroEngine {
 
   TimeNs DrainContiguous(FlowState* flow);
   TimeNs FlushInseq(FlowState* flow, FlushReason reason);
+  // Flush everything a clock-chosen victim holds and erase it; repeats until
+  // the table is at or under flow_cap_. No-op while flow_cap_ == 0.
+  TimeNs EnforceFlowCap();
 
   const CpuCostModel* costs_;
   PrestoGroConfig config_;
   FlowTable<FlowState> flows_;
+  size_t flow_cap_ = 0;  // 0 = unbounded (Presto-as-published)
 };
 
 }  // namespace juggler

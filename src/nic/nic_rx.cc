@@ -58,7 +58,20 @@ void NicRx::Accept(PacketPtr packet) {
   }
   packet->nic_rx_time = loop_->now();
   q->ring.push_back(std::move(packet));
+  if (q->ring.size() > stats_.ring_high_watermark) {
+    stats_.ring_high_watermark = q->ring.size();
+  }
   ScheduleInterrupt(q);
+}
+
+void NicRx::ApplyGroFlowCap(size_t max_flows) {
+  for (auto& qp : queues_) {
+    RxQueue* q = qp.get();
+    q->core.Submit(0, [this, q, max_flows] {
+      const TimeNs cost = q->gro->ApplyFlowCapPressure(max_flows);
+      q->core.Submit(cost, [this, q] { DeliverPending(q); });
+    });
+  }
 }
 
 void NicRx::ScheduleInterrupt(RxQueue* q) {
@@ -194,6 +207,7 @@ void PublishNicRxStats(const NicRxStats& stats, const std::string& label,
   registry->AddCounter("nic.polls", label, stats.polls);
   registry->AddCounter("nic.coalesce_arms", label, stats.coalesce_arms);
   registry->AddCounter("nic.napi_budget_exhausted", label, stats.napi_budget_exhausted);
+  registry->MaxGauge("nic.ring_high_watermark", label, stats.ring_high_watermark);
 }
 
 }  // namespace juggler

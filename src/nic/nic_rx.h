@@ -82,6 +82,7 @@ struct NicRxStats {
   uint64_t polls = 0;
   uint64_t coalesce_arms = 0;           // interrupt armed behind the τ₀ spacing
   uint64_t napi_budget_exhausted = 0;   // poll rounds that hit napi_budget
+  uint64_t ring_high_watermark = 0;     // deepest any queue's ring ever got
 };
 
 class NicRx : public PacketSink {
@@ -108,6 +109,18 @@ class NicRx : public PacketSink {
   GroStats TotalGroStats() const;
 
   const NicRxConfig& config() const { return config_; }
+
+  // Overload-resilience knobs (memory brown-outs shrink these mid-run).
+  // Shrinking the ring does not evict already-queued packets; it only tail-
+  // drops new arrivals until polls drain the ring under the new cap.
+  void set_ring_capacity(size_t capacity) {
+    config_.ring_capacity = capacity < 1 ? 1 : capacity;
+  }
+
+  // Propagate a flow-table pressure cap to every queue's GRO engine, through
+  // the RX cores (same path as GRO timers) so evicted segments are delivered
+  // and charged exactly like any other GRO work.
+  void ApplyGroFlowCap(size_t max_flows);
 
  private:
   // Each queue is its engine's GroHost: deliveries buffer into the queue's

@@ -14,7 +14,15 @@ void NicTx::SendBurst(const TsoBurst& burst) {
   uint32_t sent = 0;
   while (sent < burst.len) {
     const uint32_t chunk = std::min<uint32_t>(kMss, burst.len - sent);
-    PacketPtr p = factory_->Make();
+    PacketPtr p = factory_->TryMake();
+    if (p == nullptr) {
+      // Pool at capacity: this MTU is tail-dropped at the NIC. The rest of
+      // the burst still tries — later frames may find the pool recovered,
+      // and partial bursts keep the ACK clock alive.
+      ++stats_.pool_exhausted_drops;
+      sent += chunk;
+      continue;
+    }
     p->flow = burst.flow;
     p->seq = burst.seq + sent;
     p->payload_len = chunk;
@@ -35,7 +43,12 @@ void NicTx::SendBurst(const TsoBurst& burst) {
 
 void NicTx::SendAck(const FiveTuple& flow, Seq seq, Seq ack_seq, uint32_t rwnd,
                     Priority priority, const SackBlocks& sack, bool ece) {
-  PacketPtr p = factory_->Make();
+  PacketPtr p = factory_->TryMake();
+  if (p == nullptr) {
+    // Shed the ACK; cumulative ACKs are self-healing once pressure lifts.
+    ++stats_.pool_exhausted_drops;
+    return;
+  }
   p->flow = flow;
   p->seq = seq;
   p->payload_len = 0;
@@ -65,6 +78,15 @@ void NicTx::Transmit(PacketPtr packet) {
   PacketSink* wire = wire_;
   loop_->ScheduleAt(release,
                     [wire, p = std::move(packet)]() mutable { wire->Accept(std::move(p)); });
+}
+
+void PublishNicTxStats(const NicTxStats& stats, const std::string& label,
+                       MetricsRegistry* registry) {
+  registry->AddCounter("nic_tx.bursts", label, stats.bursts);
+  registry->AddCounter("nic_tx.packets", label, stats.packets);
+  registry->AddCounter("nic_tx.bytes", label, stats.bytes);
+  registry->AddCounter("nic_tx.acks", label, stats.acks);
+  registry->AddCounter("nic_tx.pool_exhausted_drops", label, stats.pool_exhausted_drops);
 }
 
 }  // namespace juggler

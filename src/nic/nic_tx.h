@@ -12,8 +12,10 @@
 #define JUGGLER_SRC_NIC_NIC_TX_H_
 
 #include <functional>
+#include <string>
 
 #include "src/net/packet_sink.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 
 namespace juggler {
@@ -41,6 +43,11 @@ struct NicTxStats {
   uint64_t packets = 0;
   uint64_t bytes = 0;
   uint64_t acks = 0;
+  // Frames shed because the packet pool was at its capacity cap (overload
+  // policy: tail-drop at the NIC with a counter, never abort). TCP's normal
+  // loss recovery — dupACKs, RTO — resends the payload once pressure lifts;
+  // a dropped pure ACK is recovered by the next cumulative ACK.
+  uint64_t pool_exhausted_drops = 0;
 };
 
 class NicTx {
@@ -57,6 +64,8 @@ class NicTx {
 
   const NicTxStats& stats() const { return stats_; }
 
+  PacketFactory* factory() { return factory_; }
+
  private:
   void Transmit(PacketPtr packet);
 
@@ -68,6 +77,10 @@ class NicTx {
   uint64_t next_tso_id_ = 1;
   NicTxStats stats_;
 };
+
+// Snapshot a NicTxStats into `registry` under `label` (e.g. "sender").
+void PublishNicTxStats(const NicTxStats& stats, const std::string& label,
+                       MetricsRegistry* registry);
 
 }  // namespace juggler
 

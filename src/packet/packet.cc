@@ -48,6 +48,10 @@ void PacketPool::ReleaseRemote(Packet* p) noexcept {
     p->pool_next = head;
   } while (!remote_free_.compare_exchange_weak(head, p, std::memory_order_release,
                                                std::memory_order_relaxed));
+  // Ledger half of the release. The owner folds this in only at its next
+  // reconcile point, so occupancy stays deterministic even though the push
+  // above races freely with the owner's drain.
+  remote_released_.fetch_add(1, std::memory_order_release);
 }
 
 void PacketPool::CompactFreeList() noexcept {

@@ -233,6 +233,26 @@ class PacketPool {
 
   ~PacketPool();
 
+  // Capacity-checked acquire: returns null (and counts the refusal) instead
+  // of allocating when the pool is at its cap. This is the overload-policy
+  // entry point — callers that can shed load (NIC transmit, fault
+  // duplication, storm injectors) use it and surface the refusal as a typed
+  // drop counter; infallible Acquire stays available for paths that must not
+  // fail. A cap of 0 (the default) means unbounded, so uncapped pools behave
+  // byte-for-byte as before.
+  //
+  // The occupancy test uses outstanding(), which deliberately counts remote
+  // (cross-shard) releases only up to the last ReconcileRemoteReleases()
+  // snapshot — see that method for why. The transient overcount only makes
+  // the cap conservative, never violated.
+  Packet* TryAcquire() {
+    if (capacity_ != 0 && outstanding() >= capacity_) [[unlikely]] {
+      ++exhausted_;
+      return nullptr;
+    }
+    return Acquire();
+  }
+
   // Pops recycled storage (or allocates) and resets it to default state.
   // Only `acquired_` is maintained inline; the allocator-miss count lives on
   // the cold branch so the steady state pays one counter update per packet.
@@ -268,6 +288,7 @@ class PacketPool {
   // compaction itself (and the cross-thread Treiber path below) stays
   // out-of-line so this inlines to a handful of instructions at call sites.
   void Release(Packet* p) noexcept {
+    ++released_local_;
     free_.push_back(p);
     if (free_.size() >= compact_watermark_) [[unlikely]] {
       CompactFreeList();
@@ -288,11 +309,13 @@ class PacketPool {
       PacketPool* origin = p->pool_origin;
       if (origin == nullptr) [[likely]] {
         if (pool != nullptr) [[likely]] {
+          ++pool->released_local_;
           pool->free_.push_back(p);
         } else {
           delete p;
         }
       } else if (origin == pool) {
+        ++pool->released_local_;
         pool->free_.push_back(p);
       } else {
         origin->ReleaseRemote(p);
@@ -313,6 +336,48 @@ class PacketPool {
   // Frees the freelist's storage (keeps stats). Outstanding packets are
   // unaffected; they re-enter the (now empty) freelist when released.
   void Trim();
+
+  // --- Bounded-resource operation (overload resilience) ---------------------
+  //
+  // Occupancy is tracked as (acquired - released), never by freelist size:
+  // the freelist holds *storage*, occupancy is about *live packets*. The
+  // remote-release half of the ledger is a plain atomic counter bumped by
+  // ReleaseRemote, but it is folded into the occupancy view only at
+  // ReconcileRemoteReleases() — called at points that are deterministic in
+  // simulation structure (the sharded engine's post-barrier inject phase,
+  // or a quiescent main-thread probe), never at wall-clock-dependent moments
+  // like DrainRemote. That keeps outstanding(), and therefore every
+  // TryAcquire verdict and drop counter derived from it, identical for any
+  // worker count — the property the overload digests rely on.
+
+  // Hard cap on live packets from this pool; 0 = unbounded (default).
+  void set_capacity(size_t capacity) noexcept { capacity_ = capacity; }
+  size_t capacity() const { return capacity_; }
+
+  // Folds remote (cross-thread) releases into the occupancy view. Owner
+  // thread only, and only when every release that should be visible has a
+  // happens-before edge to the caller (barrier or quiescence).
+  void ReconcileRemoteReleases() noexcept {
+    remote_released_seen_ = remote_released_.load(std::memory_order_acquire);
+  }
+
+  // Live packets as of the last reconcile: acquired minus released. May
+  // transiently overcount by releases still unseen on the remote stack.
+  // Computed signed and clamped at zero: a packet acquired from one pool but
+  // released into this pool's ledger (an unstamped allocation freed on a
+  // thread whose ambient pool is this one) makes released exceed acquired,
+  // and an unsigned wrap would read as "infinitely full" — turning a small
+  // bookkeeping skew into a permanent allocation refusal.
+  uint64_t outstanding() const {
+    const int64_t live = static_cast<int64_t>(acquired_) -
+                         static_cast<int64_t>(released_local_) -
+                         static_cast<int64_t>(remote_released_seen_);
+    return live > 0 ? static_cast<uint64_t>(live) : 0;
+  }
+
+  // TryAcquire refusals (the pool's contribution to tail-drop counters).
+  uint64_t exhausted() const { return exhausted_; }
+  uint64_t released() const { return released_local_ + remote_released_seen_; }
 
   uint64_t acquired() const { return acquired_; }
   // Acquisitions served from the freelist rather than the allocator.
@@ -362,6 +427,12 @@ class PacketPool {
   PacketPool* const origin_stamp_ = nullptr;
   uint64_t acquired_ = 0;
   uint64_t fresh_ = 0;  // acquisitions that had to hit the allocator
+  // Overload-resilience ledger (see the block comment above set_capacity).
+  size_t capacity_ = 0;            // 0 = unbounded
+  uint64_t released_local_ = 0;    // owner-thread releases
+  uint64_t remote_released_seen_ = 0;  // remote releases folded at reconcile
+  uint64_t exhausted_ = 0;             // TryAcquire refusals at the cap
+  std::atomic<uint64_t> remote_released_{0};
   size_t compact_watermark_ = kCompactFloor;
   uint64_t compact_last_acquired_ = 0;
   uint64_t compact_freed_ = 0;
@@ -386,12 +457,41 @@ inline PacketPtr ClonePacket(const Packet& src) {
   return p;
 }
 
+// Capacity-checked clone: null when the thread's pool is at its cap. Fault
+// duplication uses this so an exhausted pool sheds the duplicate instead of
+// blowing past the cap (the original is untouched either way).
+inline PacketPtr TryClonePacket(const Packet& src) {
+  Packet* raw = PacketPool::ThreadLocal().TryAcquire();
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  PacketPtr p(raw);
+  PacketPool* origin = p->pool_origin;
+  *p = src;
+  p->pool_origin = origin;
+  p->pool_next = nullptr;
+  return p;
+}
+
 // Allocates packets with unique ids. One factory per experiment keeps id
 // assignment deterministic; storage comes from the thread's PacketPool.
 class PacketFactory {
  public:
   PacketPtr Make() {
     PacketPtr p = AllocPacket();
+    p->id = next_id_++;
+    return p;
+  }
+
+  // Capacity-checked Make: null when the thread's pool refuses the
+  // allocation. Ids are only consumed on success, so the id sequence of the
+  // packets that *do* exist is independent of how many refusals interleaved.
+  PacketPtr TryMake() {
+    Packet* raw = PacketPool::ThreadLocal().TryAcquire();
+    if (raw == nullptr) {
+      return nullptr;
+    }
+    PacketPtr p(raw);
     p->id = next_id_++;
     return p;
   }

@@ -1,6 +1,9 @@
 #include "src/scenario/chaos_scenario.h"
 
+#include <algorithm>
 #include <cstring>
+#include <functional>
+#include <optional>
 #include <utility>
 
 #include "src/core/juggler.h"
@@ -133,6 +136,32 @@ std::unique_ptr<LinkFlapper> MaybeStartFlapper(const ChaosOptions& opt, EventLoo
   return flapper;
 }
 
+// Overload wiring shared by both execution paths. The differences are the
+// loop/factory (receiver domain vs scenario-wide) and which pools get capped
+// (both domain pools vs the single ambient thread-local pool).
+OverloadWiring MakeOverloadWiring(const ChaosOptions& opt, EventLoop* loop,
+                                  PacketFactory* factory, Host* sender, Host* receiver,
+                                  FaultStage* fault, std::vector<PacketPool*> pools,
+                                  PacketPool* brownout_pool,
+                                  std::function<uint64_t()> executed_events) {
+  OverloadWiring w;
+  w.loop = loop;
+  w.inject = receiver->wire_in();
+  w.factory = factory;
+  w.receiver_nic = receiver->nic_rx();
+  w.sender_tx = &sender->nic_tx()->stats();
+  w.receiver_tx = &receiver->nic_tx()->stats();
+  w.fault = fault != nullptr ? &fault->stats() : nullptr;
+  w.pools = std::move(pools);
+  w.brownout_pool = brownout_pool;
+  w.target_ip = receiver->ip();
+  w.pool_capacity = opt.overload.pool_capacity;
+  w.ring_capacity = opt.overload.ring_capacity;
+  w.gro_flow_cap = opt.max_flows;
+  w.executed_events = std::move(executed_events);
+  return w;
+}
+
 // Per-layer metrics snapshot, taken after the run completes (and, on the
 // sharded path, after the workers have joined — the registry needs no
 // atomics). Everything published here is invariant across worker counts.
@@ -141,6 +170,8 @@ void PublishChaosMetrics(const Testbed* t, const EndpointPair* pair, LinkFlapper
                          StackKind stack, const AppHarness* app, MetricsRegistry* m) {
   PublishNicRxStats(t->sender->nic_rx()->stats(), "sender", m);
   PublishNicRxStats(t->receiver->nic_rx()->stats(), "receiver", m);
+  PublishNicTxStats(t->sender->nic_tx()->stats(), "sender", m);
+  PublishNicTxStats(t->receiver->nic_tx()->stats(), "receiver", m);
   PublishGroStats(t->receiver->nic_rx()->TotalGroStats(),
                   stack == StackKind::kJuggler
                       ? "juggler"
@@ -187,8 +218,9 @@ void PublishChaosMetrics(const Testbed* t, const EndpointPair* pair, LinkFlapper
 // FinalCheck (inside AppHarness::Finish) stands in for the byte total.
 template <typename Testbed>
 void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlapper* flapper,
-               StreamIntegrityChecker* integrity, AppHarness* app, AuditLog* log,
-               StackKind stack, TimeNs finish_time, ChaosEngineResult* r) {
+               StreamIntegrityChecker* integrity, AppHarness* app, OverloadDriver* ovl,
+               OverloadAuditor* ovl_audit, AuditLog* log, StackKind stack, TimeNs finish_time,
+               ChaosEngineResult* r) {
   r->bytes_delivered = pair->b_to_a->bytes_delivered();
   r->finish_time = finish_time;
   if (app != nullptr) {
@@ -207,6 +239,16 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
       log->Violation(r->engine, "transfer incomplete: " + std::to_string(r->bytes_delivered) +
                                     " of " + std::to_string(opt.transfer_bytes) + " bytes");
     }
+  }
+  // Overload finalization before the log is read: FinalCheck's violations
+  // (conservation, recovery, drained tables) must count and digest.
+  if (ovl_audit != nullptr) {
+    ovl_audit->FinalCheck(finish_time, r->bytes_delivered, r->completed, ovl->stats());
+    r->overload = ovl->stats();
+    r->overload_probes = ovl_audit->probes();
+    r->overload_peak_pool = ovl_audit->peak_outstanding();
+    r->overload_pool_exhausted = ovl_audit->pool_exhausted_delta();
+    r->overload_ring_drops = t->receiver->nic_rx()->stats().ring_drops;
   }
   r->violations = log->violations();
   r->violation_messages = log->messages();
@@ -260,6 +302,29 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
     d.Mix(r->app.forced_terminal);
     d.Mix(app->frames_delivered());
   }
+  // Overload counters join the digest only for overload runs (same gating
+  // pattern as the app counters): every pre-overload digest stays
+  // bit-identical, and an overload digest must reproduce across shard
+  // counts. Raw pool lifetime counters stay OUT — the legacy thread-local
+  // pool accumulates them across in-process runs; only deltas digest.
+  if (ovl_audit != nullptr) {
+    d.Mix(r->overload.windows_started);
+    d.Mix(r->overload.windows_ended);
+    d.Mix(r->overload.bursts);
+    d.Mix(r->overload.injected_packets);
+    d.Mix(r->overload.inject_alloc_drops);
+    d.Mix(r->overload.churn_tuples);
+    d.Mix(r->overload.brownouts);
+    d.Mix(r->overload.cap_restores);
+    d.Mix(r->overload_probes);
+    d.Mix(r->overload_peak_pool);
+    d.Mix(r->overload_pool_exhausted);
+    d.Mix(r->overload_ring_drops);
+    d.Mix(r->faults.dup_pool_exhausted);
+    d.Mix(t->receiver->stray_segments());
+    d.Mix(t->sender->nic_tx()->stats().pool_exhausted_drops);
+    d.Mix(t->receiver->nic_tx()->stats().pool_exhausted_drops);
+  }
   r->digest = d.h;
 
   // Observability snapshot last, strictly after the digest: metrics must
@@ -268,6 +333,10 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
   r->obs.trace_enabled = opt.obs.trace;
   if (opt.obs.metrics) {
     PublishChaosMetrics(t, pair, flapper, stack, app, &r->obs.metrics);
+    if (ovl != nullptr) {
+      PublishOverloadStats(ovl->stats(), r->engine, &r->obs.metrics);
+      ovl_audit->Publish(&r->obs.metrics);
+    }
   }
 }
 
@@ -297,13 +366,49 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, StackKind stack) 
   ShardedEngine engine(opt.shards);
   engine.set_mailbox_capacity(opt.shard_mailbox_capacity);
   CpuCostModel costs;
-  ShardedNetFpgaTestbed t = BuildShardedNetFpga(&engine, &costs, nopt);
+  // Held in an optional so overload runs can tear the fabric down early and
+  // measure leaked packets while the engine (and its pools) still live.
+  std::optional<ShardedNetFpgaTestbed> t_opt(BuildShardedNetFpga(&engine, &costs, nopt));
+  ShardedNetFpgaTestbed& t = *t_opt;
   if (t.fault != nullptr) {
     t.fault->set_recorder(sender_rec);  // the fault stage runs sender-side
   }
 
   std::unique_ptr<LinkFlapper> flapper =
       MaybeStartFlapper(opt, &t.sender_domain->loop(), t.fwd_link);
+
+  std::unique_ptr<OverloadDriver> ovl;
+  std::unique_ptr<OverloadAuditor> ovl_audit;
+  if (opt.overload.enabled()) {
+    CheckLinksBounded({t.fwd_link, t.rev_link}, r.engine, &log);
+    ShardedEngine* eng = &engine;
+    OverloadWiring w = MakeOverloadWiring(
+        opt, &t.receiver_domain->loop(), &t.receiver_domain->factory(), t.sender, t.receiver,
+        t.fault, {&t.sender_domain->pool(), &t.receiver_domain->pool()},
+        &t.receiver_domain->pool(), [eng] {
+          uint64_t total = 0;
+          for (size_t i = 0; i < eng->domain_count(); ++i) {
+            total += eng->domain(i)->executed_events();
+          }
+          return total;
+        });
+    ovl = std::make_unique<OverloadDriver>(opt.overload.windows, w);
+    ovl->Start();
+    ovl_audit =
+        std::make_unique<OverloadAuditor>(r.engine + "/overload", w, opt.overload.windows, &log);
+  }
+
+  // Setup-phase sends (connection setup, the initial congestion window)
+  // execute synchronously on this thread, before any worker runs. Stamp
+  // their allocations with a domain pool for the duration: an unstamped
+  // packet released later on a worker would bump that domain pool's release
+  // ledger with no matching acquire, skewing the occupancy view the
+  // overload capacity caps key off.
+  struct PoolStamp {
+    PacketPool* prev;
+    explicit PoolStamp(PacketPool* pool) : prev(PacketPool::SwapThreadPool(pool)) {}
+    ~PoolStamp() { PacketPool::SwapThreadPool(prev); }
+  };
 
   std::unique_ptr<StreamIntegrityChecker> integrity;
   std::unique_ptr<AppHarness> app;
@@ -319,29 +424,48 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, StackKind stack) 
     wiring.b_rec = receiver_rec;
     wiring.log = &log;
     wiring.name = r.engine;
-    app = std::make_unique<AppHarness>(opt.app, wiring, opt.seed * 1000003ULL + 7);
-    pair = app->primary();
-    app->Start();
+    {
+      PoolStamp stamp(&t.sender_domain->pool());
+      app = std::make_unique<AppHarness>(opt.app, wiring, opt.seed * 1000003ULL + 7);
+      pair = app->primary();
+      app->Start();
+    }
     while (now < opt.time_limit && !app->Done()) {
       now += Ms(10);
       engine.Run(now);
+      if (ovl_audit != nullptr) {
+        ovl_audit->Probe(now, pair.b_to_a->bytes_delivered());
+      }
     }
   } else {
-    pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
-    integrity = std::make_unique<StreamIntegrityChecker>(r.engine + "/stream", &log);
-    integrity->Attach(pair.b_to_a);
-    integrity->set_expected_bytes(opt.transfer_bytes);
-    pair.a_to_b->Send(opt.transfer_bytes);
+    {
+      PoolStamp stamp(&t.sender_domain->pool());
+      pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
+      integrity = std::make_unique<StreamIntegrityChecker>(r.engine + "/stream", &log);
+      integrity->Attach(pair.b_to_a);
+      integrity->set_expected_bytes(opt.transfer_bytes);
+      pair.a_to_b->Send(opt.transfer_bytes);
+    }
     while (now < opt.time_limit && pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
       now += Ms(10);
       engine.Run(now);
+      if (ovl_audit != nullptr) {
+        ovl_audit->Probe(now, pair.b_to_a->bytes_delivered());
+      }
     }
   }
   // Let the tail drain (final ACKs, pending GRO flushes, late duplicates).
+  // If the workload finished while overload windows were still open, keep
+  // running until the last window closes and its flush timers fire — the
+  // auditor's quiescence invariants only hold after pressure ends.
   now += Ms(5);
+  if (ovl != nullptr) {
+    now = std::max(now, ovl->pressure_end() + Ms(5));
+  }
   engine.Run(now);
 
-  FinishRun(opt, &t, &pair, flapper.get(), integrity.get(), app.get(), &log, stack, now, &r);
+  FinishRun(opt, &t, &pair, flapper.get(), integrity.get(), app.get(), ovl.get(),
+            ovl_audit.get(), &log, stack, now, &r);
 
   const ShardedEngineStats& es = engine.stats();
   r.shard_workers = es.workers;
@@ -365,10 +489,38 @@ ChaosEngineResult RunOneEngineSharded(const ChaosOptions& opt, StackKind stack) 
     }
     r.obs.events = MergeTraces(recs);
   }
+  // The no-leak proof: destroy everything that can hold a packet (fabric
+  // teardown returns link/ring/GRO-held storage; ReleaseResidualPackets
+  // frees mailbox contents and timer-riding packets), then any outstanding
+  // remainder across the domain pools is storage the stack lost track of.
+  if (ovl_audit != nullptr) {
+    ovl->Teardown();
+    app.reset();
+    integrity.reset();
+    flapper.reset();
+    pair = EndpointPair{};
+    t_opt.reset();
+    engine.ReleaseResidualPackets();
+    r.overload_pool_leaked = static_cast<int64_t>(ovl_audit->MeasureLeakedPackets());
+  }
   return r;
 }
 
 }  // namespace
+
+// Satellite of the overload family: a run that applies overload pressure
+// against links with no queue bound would hide every queue-growth pathology
+// inside an infinitely elastic buffer — flag it as a setup bug.
+void CheckLinksBounded(std::initializer_list<const Link*> links, const std::string& engine,
+                       AuditLog* log) {
+  for (const Link* link : links) {
+    if (link != nullptr && link->queue_limit_bytes() <= 0) {
+      log->Violation(engine + "/overload", "link " + link->name() +
+                                               " has no queue bound while overload faults "
+                                               "are active");
+    }
+  }
+}
 
 ChaosEngineResult RunChaosEngine(const ChaosOptions& opt, bool use_juggler) {
   return RunChaosEngineStack(opt, use_juggler ? StackKind::kJuggler : StackKind::kVanilla);
@@ -400,6 +552,23 @@ ChaosEngineResult RunChaosEngineStack(const ChaosOptions& opt, StackKind stack) 
   std::unique_ptr<LinkFlapper> flapper =
       MaybeStartFlapper(opt, &world.loop, t.fwd_link);
 
+  std::unique_ptr<OverloadDriver> ovl;
+  std::unique_ptr<OverloadAuditor> ovl_audit;
+  if (opt.overload.enabled()) {
+    CheckLinksBounded({t.fwd_link, t.rev_link}, r.engine, &log);
+    // One ambient thread-local pool serves the whole legacy world; the
+    // driver's Teardown() must restore its capacity — it outlives the run.
+    EventLoop* loop = &world.loop;
+    OverloadWiring w = MakeOverloadWiring(
+        opt, loop, &world.factory, t.sender, t.receiver, t.fault,
+        {&PacketPool::ThreadLocal()}, &PacketPool::ThreadLocal(),
+        [loop] { return loop->executed_events(); });
+    ovl = std::make_unique<OverloadDriver>(opt.overload.windows, w);
+    ovl->Start();
+    ovl_audit =
+        std::make_unique<OverloadAuditor>(r.engine + "/overload", w, opt.overload.windows, &log);
+  }
+
   std::unique_ptr<StreamIntegrityChecker> integrity;
   std::unique_ptr<AppHarness> app;
   EndpointPair pair;
@@ -418,6 +587,9 @@ ChaosEngineResult RunChaosEngineStack(const ChaosOptions& opt, StackKind stack) 
     app->Start();
     while (world.loop.now() < opt.time_limit && !app->Done()) {
       world.loop.RunUntil(world.loop.now() + Ms(10));
+      if (ovl_audit != nullptr) {
+        ovl_audit->Probe(world.loop.now(), pair.b_to_a->bytes_delivered());
+      }
     }
   } else {
     pair = ConnectHosts(t.sender, t.receiver, 1000, 2000);
@@ -428,13 +600,27 @@ ChaosEngineResult RunChaosEngineStack(const ChaosOptions& opt, StackKind stack) 
     while (world.loop.now() < opt.time_limit &&
            pair.b_to_a->bytes_delivered() < opt.transfer_bytes) {
       world.loop.RunUntil(world.loop.now() + Ms(10));
+      if (ovl_audit != nullptr) {
+        ovl_audit->Probe(world.loop.now(), pair.b_to_a->bytes_delivered());
+      }
     }
   }
   // Let the tail drain (final ACKs, pending GRO flushes, late duplicates).
-  world.loop.RunUntil(world.loop.now() + Ms(5));
+  // As on the sharded path: run past the last overload window before the
+  // auditor asserts quiescence.
+  TimeNs drain_until = world.loop.now() + Ms(5);
+  if (ovl != nullptr) {
+    drain_until = std::max(drain_until, ovl->pressure_end() + Ms(5));
+  }
+  world.loop.RunUntil(drain_until);
 
-  FinishRun(opt, &t, &pair, flapper.get(), integrity.get(), app.get(), &log, stack,
-            world.loop.now(), &r);
+  FinishRun(opt, &t, &pair, flapper.get(), integrity.get(), app.get(), ovl.get(),
+            ovl_audit.get(), &log, stack, world.loop.now(), &r);
+  if (ovl != nullptr) {
+    // Un-cap the long-lived thread-local pool; the leak measurement stays
+    // sharded-only (the legacy world cannot be torn down before `t` dies).
+    ovl->Teardown();
+  }
   if (opt.obs.trace) {
     r.obs.trace_dropped = recorder->dropped();
     r.obs.events = MergeTraces({recorder.get()});
@@ -624,3 +810,4 @@ bool ParseStackKind(const char* name, StackKind* out) {
 }
 
 }  // namespace juggler
+

@@ -20,11 +20,15 @@
 #define JUGGLER_SRC_SCENARIO_CHAOS_SCENARIO_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "src/fault/audit_log.h"
 #include "src/fault/fault_stage.h"
 #include "src/fault/link_flapper.h"
+#include "src/fault/overload.h"
+#include "src/net/link.h"
 #include "src/obs/obs.h"
 #include "src/util/time.h"
 #include "src/workload/app_resilience.h"
@@ -106,6 +110,20 @@ struct ChaosOptions {
   // JugglerConfig::debug_flush_accounting_skew). Forensics tests only.
   bool plant_flush_skew = false;
 
+  // Overload pressure riding the run: timed incast / churn / brown-out
+  // windows plus hard capacity caps on every packet pool (and optionally the
+  // receiver ring). Empty windows = overload machinery fully off — caps
+  // unset, no driver, no auditor, digests bit-identical to before.
+  struct OverloadOptions {
+    std::vector<OverloadWindow> windows;
+    // Hard cap applied to every packet pool for the run (0 = uncapped).
+    size_t pool_capacity = 8192;
+    // Receiver NIC ring cap for the run (0 = keep NicRxConfig's default).
+    size_t ring_capacity = 0;
+    bool enabled() const { return !windows.empty(); }
+  };
+  OverloadOptions overload;
+
   // Application workload riding the testbed. kNone (the default) keeps the
   // classic raw bulk transfer; any other kind replaces it with the
   // app_resilience traffic mix (AppHarness), whose auditor and hung-request
@@ -133,6 +151,16 @@ struct ChaosEngineResult {
   // For app runs these join the digest, and `completed` means "zero hung
   // requests" instead of "all bytes delivered".
   AppStats app;
+  // Overload-run observables (all zero when ChaosOptions::overload is off;
+  // when on, these join the digest and must be shard-count invariant).
+  OverloadStats overload;            // driver counters
+  uint64_t overload_probes = 0;      // auditor probes taken
+  uint64_t overload_peak_pool = 0;   // peak pool occupancy delta observed
+  uint64_t overload_pool_exhausted = 0;  // refused allocations (all pools)
+  uint64_t overload_ring_drops = 0;      // receiver ring tail drops
+  // Packets still outstanding after full teardown (sharded runs only;
+  // -1 = not measured). Zero is the no-leak proof.
+  int64_t overload_pool_leaked = -1;
   // FNV-1a over the run's observable counters: same seed + options must
   // reproduce this bit-identically.
   uint64_t digest = 0;
@@ -163,6 +191,12 @@ struct ChaosResult {
   bool streams_match = false;
   bool ok = false;  // completed + zero violations + streams_match
 };
+
+// Overload satellite check: links with no queue bound while overload faults
+// are active would hide queue-growth pathologies inside an infinitely
+// elastic buffer — each one is flagged as a setup bug on `log`.
+void CheckLinksBounded(std::initializer_list<const Link*> links, const std::string& engine,
+                       AuditLog* log);
 
 // The seeded random fault schedule for `family`: `num_windows` windows
 // placed in [horizon/8, horizon/2]. (The link-flap family has no packet

@@ -26,6 +26,7 @@ NetFpgaTestbed BuildNetFpga(SimWorld* world, NetFpgaOptions options) {
   LinkConfig host_link;
   host_link.rate_bps = options.link_rate_bps;
   host_link.propagation_delay = options.base_delay;
+  host_link.queue_limit_bytes = options.host_link_queue_bytes;
 
   // Build back-to-front. The reverse (ACK) path ends at the sender, which
   // does not exist yet — latch it.
@@ -84,6 +85,7 @@ ShardedNetFpgaTestbed BuildShardedNetFpga(ShardedEngine* engine, const CpuCostMo
   LinkConfig host_link;
   host_link.rate_bps = options.link_rate_bps;
   host_link.propagation_delay = 0;
+  host_link.queue_limit_bytes = options.host_link_queue_bytes;
 
   // Receiver side and its ACK path back to the (not yet built) sender.
   Link* rev_link = t.fabric.AddLink(rloop, "rev", host_link, rev_ep);
@@ -166,11 +168,12 @@ ClosTestbed BuildClos(SimWorld* world, ClosOptions options) {
   }
 
   // Host->ToR "links" model the NIC + qdisc: the queue backs up under TCP
-  // backpressure but never drops locally. ToR->host downlinks are switch
-  // ports with drop-tail buffers.
+  // backpressure, shedding only at a bound far beyond any congestion-window
+  // footprint. ToR->host downlinks are switch ports with drop-tail buffers.
   LinkConfig uplink_cfg;
   uplink_cfg.rate_bps = options.host_link_rate_bps;
   uplink_cfg.propagation_delay = options.link_prop;
+  uplink_cfg.queue_limit_bytes = options.host_uplink_queue_bytes;
   LinkConfig downlink_cfg = uplink_cfg;
   downlink_cfg.queue_limit_bytes = options.switch_buffer_bytes;
   downlink_cfg.red = options.red;
@@ -265,6 +268,7 @@ ShardedClosTestbed BuildShardedClos(ShardedEngine* engine, const CpuCostModel* c
   LinkConfig uplink_cfg;
   uplink_cfg.rate_bps = options.host_link_rate_bps;
   uplink_cfg.propagation_delay = 0;
+  uplink_cfg.queue_limit_bytes = options.host_uplink_queue_bytes;
   LinkConfig downlink_cfg = uplink_cfg;
   downlink_cfg.queue_limit_bytes = options.switch_buffer_bytes;
   downlink_cfg.red = options.red;
@@ -327,10 +331,12 @@ DumbbellTestbed BuildDumbbell(SimWorld* world, DumbbellOptions options) {
   Link* r_to_s2 = t.fabric.AddLink(loop, "torR->s2", prio_link, s2);
   Link* s2_to_l = t.fabric.AddLink(loop, "s2->torL", prio_link, tor_l);
 
-  // NIC/qdisc uplinks never drop locally; switch downlinks are drop-tail.
+  // NIC/qdisc uplinks shed only at a deep explicit bound; switch downlinks
+  // are drop-tail at the switch buffer size.
   LinkConfig uplink_cfg;
   uplink_cfg.rate_bps = options.link_rate_bps;
   uplink_cfg.propagation_delay = options.link_prop;
+  uplink_cfg.queue_limit_bytes = options.host_uplink_queue_bytes;
   LinkConfig downlink_cfg = uplink_cfg;
   downlink_cfg.queue_limit_bytes = options.switch_buffer_bytes;
   downlink_cfg.red = options.red;

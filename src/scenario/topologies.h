@@ -83,6 +83,12 @@ struct NetFpgaOptions {
   TimeNs base_delay = Us(5);      // lane 0 delay (fabric latency)
   TimeNs reorder_delay = Us(500);  // lane 1 extra delay: "τ µs reordering"
   double drop_prob = 0.0;          // applied receiver-side, before the NIC
+  // Drop-tail bound on both host links. Deep enough (milliseconds at line
+  // rate) that normal runs never touch it — TCP's in-flight ceiling is
+  // max_cwnd = 3MB — but finite, so overload storms hit a wall instead of
+  // an infinitely elastic buffer. <= 0 restores the old unbounded queues
+  // (chaos runs flag that as a setup bug when overload faults are active).
+  int64_t host_link_queue_bytes = 16'000'000;
   // Fault-injection schedule applied receiver-side, nearest the NIC (after
   // the reorder and legacy drop stages). Empty = no fault stage.
   FaultTimeline faults;
@@ -137,6 +143,9 @@ struct ClosOptions {
   TimeNs link_prop = Us(1);
   int64_t switch_buffer_bytes = 1'000'000;
   LbPolicy lb = LbPolicy::kPerPacket;
+  // Host->ToR "NIC + qdisc" uplinks: backs up under TCP backpressure, and
+  // only sheds when pushed far beyond any congestion-window footprint.
+  int64_t host_uplink_queue_bytes = 16'000'000;
   // Early random drops on switch ports (the ECN/WRED role); keeps competing
   // flows desynchronized and fair.
   bool red = true;
@@ -190,6 +199,8 @@ struct DumbbellOptions {
   // Arista 7500 class): the low-priority queue can hold ~400us at 40G, so
   // mixing priorities produces severe reordering.
   int64_t switch_buffer_bytes = 2'000'000;
+  // Host->ToR "NIC + qdisc" uplinks (see ClosOptions::host_uplink_queue_bytes).
+  int64_t host_uplink_queue_bytes = 16'000'000;
   bool red = true;
   uint64_t seed = 1;
   HostConfig host_template;

@@ -12,14 +12,25 @@ namespace juggler {
 
 ShardedEngine::ShardedEngine(size_t shards) : requested_shards_(shards < 1 ? 1 : shards) {}
 
-ShardedEngine::~ShardedEngine() {
+ShardedEngine::~ShardedEngine() { ReleaseResidualPackets(); }
+
+void ShardedEngine::ReleaseResidualPackets() {
   // Free packets parked in mailboxes, then packets riding timers in any
   // loop, before the domain pools (where all that storage returns) die.
+  // Releases from a loop Shutdown land on the owning pool directly (this is
+  // the owning thread), or on a sibling pool's remote stack when the packet
+  // crossed domains — so reconcile every pool's ledger afterwards, on this
+  // one thread, once all releases have happened.
   for (auto& mailbox : mailboxes_) {
     mailbox->Clear();
   }
   for (auto& domain : domains_) {
+    PacketPool* prev = PacketPool::SwapThreadPool(&domain->pool_);
     domain->loop_.Shutdown();
+    PacketPool::SwapThreadPool(prev);
+  }
+  for (auto& domain : domains_) {
+    domain->pool_.ReconcileRemoteReleases();
   }
 }
 
@@ -93,6 +104,13 @@ void ShardedEngine::RunPhase(size_t worker, size_t num_workers) {
 void ShardedEngine::InjectPhase(size_t worker, size_t num_workers) {
   for (size_t i = worker; i < domains_.size(); i += num_workers) {
     ShardDomain* domain = domains_[i].get();
+    // Deterministic reconcile point for the pool's remote-release ledger:
+    // the barrier before this phase orders every ReleaseRemote performed
+    // during the window behind this fold, and which releases those are is a
+    // property of the window schedule, not of worker interleaving. Occupancy
+    // (and so every capacity verdict next window) is identical for any
+    // worker count.
+    domain->pool_.ReconcileRemoteReleases();
     EventLoop& loop = domain->loop_;
     for (ShardMailbox* mailbox : domain->inbound_) {
       for (ShardEnvelope& env : mailbox->buffer()) {

@@ -125,6 +125,13 @@ class ShardedEngine {
   // each domain's loop sits at now() == deadline, exactly like RunUntil.
   void Run(TimeNs deadline);
 
+  // Frees every packet still parked in mailboxes or riding loop timers, and
+  // reconciles each pool's remote-release ledger — the destructor's teardown
+  // sequence, exposed so overload audits can measure pool occupancy *after*
+  // all in-flight storage has drained (a nonzero remainder is a true leak).
+  // Idempotent; the engine must not be Run() again afterwards.
+  void ReleaseResidualPackets();
+
   size_t domain_count() const { return domains_.size(); }
   ShardDomain* domain(size_t i) { return domains_[i].get(); }
   const ShardedEngineStats& stats() const { return stats_; }

@@ -43,6 +43,7 @@ void TcpEndpoint::MaybeSend() {
     const uint32_t window = std::min(cwnd_, peer_rwnd_);
     const uint32_t inflight = InflightBytes();
     if (inflight >= window) {
+      MaybeArmPersist();
       return;
     }
     uint64_t can_send = window - inflight;
@@ -107,6 +108,16 @@ void TcpEndpoint::SendBurstNow(Seq seq, uint32_t len, bool is_retransmit) {
 void TcpEndpoint::ProcessAck(Seq ack, uint32_t rwnd, const SackBlocks& sack, bool ece) {
   ++snd_stats_.acks_in;
   peer_rwnd_ = rwnd;
+  if (rwnd > 0) {
+    persist_backoff_ = 0;
+    if (persist_timer_ != kInvalidTimerId) {
+      // Window reopened (typically the reply to a probe). This ACK advances
+      // no data, so the cum-ACK branch's MaybeSend below won't run — resume
+      // transmission here.
+      CancelPersist();
+      MaybeSend();
+    }
+  }
   // A leading block entirely below the cumulative ACK is a DSACK (RFC 2883):
   // the peer received duplicate data. If we retransmitted that range, the
   // retransmit was spurious — the original was merely reordered — so raise
@@ -344,6 +355,56 @@ void TcpEndpoint::CancelRto() {
   }
 }
 
+void TcpEndpoint::MaybeArmPersist() {
+  if (persist_timer_ != kInvalidTimerId || peer_rwnd_ != 0) {
+    return;
+  }
+  if (InflightBytes() != 0 || (!infinite_backlog_ && backlog_bytes_ == 0)) {
+    return;  // the RTO covers in-flight data; no data means nothing to probe for
+  }
+  if (persist_backoff_ == 0) {
+    persist_backoff_ = rto_;
+  }
+  persist_timer_ = loop_->Schedule(persist_backoff_, [this] { OnPersistTimer(); });
+}
+
+void TcpEndpoint::OnPersistTimer() {
+  persist_timer_ = kInvalidTimerId;
+  if (peer_rwnd_ != 0 || InflightBytes() != 0 ||
+      (!infinite_backlog_ && backlog_bytes_ == 0)) {
+    persist_backoff_ = 0;
+    MaybeSend();
+    return;
+  }
+  ++snd_stats_.zero_window_probes;
+  SendWindowProbe();
+  persist_backoff_ = std::min(config_.max_rto, persist_backoff_ * 2);
+  persist_timer_ = loop_->Schedule(persist_backoff_, [this] { OnPersistTimer(); });
+}
+
+void TcpEndpoint::CancelPersist() {
+  if (persist_timer_ != kInvalidTimerId) {
+    loop_->Cancel(persist_timer_);
+    persist_timer_ = kInvalidTimerId;
+  }
+}
+
+void TcpEndpoint::SendWindowProbe() {
+  // One already-ACKed byte (snd_nxt_ - 1): ProcessData classifies it as fully
+  // duplicate and answers with a DSACK ACK carrying the current window. Sent
+  // outside the retransmit bookkeeping — no Karn reset, no rtx_ranges_ entry,
+  // so the reply is never misread as a spurious-retransmit signal.
+  TsoBurst burst;
+  burst.flow = local_;
+  burst.seq = snd_nxt_ - 1;
+  burst.len = 1;
+  burst.flags = kFlagAck;
+  burst.ack_seq = rcv_nxt_;
+  burst.ack_rwnd = AdvertisedWindow();
+  burst.marker = marker_ ? &marker_ : nullptr;
+  nic_->SendBurst(burst);
+}
+
 void TcpEndpoint::UpdateRttEstimate(TimeNs sample) {
   if (srtt_ == 0) {
     srtt_ = sample;
@@ -445,6 +506,7 @@ void PublishTcpStats(const TcpSenderStats& sender, const TcpReceiverStats& recei
   registry->AddCounter("tcp.spurious_retransmits", label,
                        sender.spurious_retransmits_detected);
   registry->AddCounter("tcp.rto_backoffs", label, sender.rto_backoffs);
+  registry->AddCounter("tcp.zero_window_probes", label, sender.zero_window_probes);
   registry->AddCounter("tcp.segments_in", label, receiver.segments_in);
   registry->AddCounter("tcp.ooo_segments_in", label, receiver.ooo_segments_in);
   registry->AddCounter("tcp.old_segments_in", label, receiver.old_segments_in);

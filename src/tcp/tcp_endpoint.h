@@ -79,6 +79,11 @@ struct TcpSenderStats {
   // each one doubled an already-backed-off timer (Karn exponential backoff
   // escalating). The first timeout of an episode counts in `rtos` only.
   uint64_t rto_backoffs = 0;
+  // Persist-timer probes sent against a peer advertising a zero window
+  // (receive-side overload: the app-core backlog ate the whole rcv_buf).
+  // Without these the window-reopen ACK has no trigger and the connection
+  // deadlocks with an empty event loop.
+  uint64_t zero_window_probes = 0;
 };
 
 // Snapshot TCP endpoint stats into `registry` under `label` (the flow, e.g.
@@ -179,6 +184,14 @@ class TcpEndpoint {
   // timeout be postponed forever by ongoing dupACK-clocked sends.
   void ArmRtoIfUnarmed();
   void CancelRto();
+  // Persist timer (RFC 1122 §4.2.2.17): armed when data is waiting, nothing
+  // is in flight, and the peer advertises a zero window — the one state with
+  // no other pending timer. Each firing retransmits the last already-ACKed
+  // byte; the peer's DSACK reply carries its current window.
+  void MaybeArmPersist();
+  void OnPersistTimer();
+  void CancelPersist();
+  void SendWindowProbe();
   void UpdateRttEstimate(TimeNs sample);
   uint32_t InflightBytes() const { return static_cast<uint32_t>(SeqDelta(snd_una_, snd_nxt_)); }
 
@@ -228,6 +241,8 @@ class TcpEndpoint {
   TimeNs rto_;
   TimerId pacing_timer_ = kInvalidTimerId;
   TimeNs pacing_next_free_ = 0;
+  TimerId persist_timer_ = kInvalidTimerId;
+  TimeNs persist_backoff_ = 0;  // 0 = start from the current RTO next time
   // (end_seq, send_time) of in-flight bursts for RTT sampling; cleared on
   // any retransmission (Karn's algorithm). FlatFifo, not std::deque: a
   // deque's map block plus first node cost ~600 heap bytes per endpoint

@@ -210,5 +210,99 @@ TEST(FlowTableTest, EraseDuringForEachOfCurrentEntry) {
   EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}));
 }
 
+// Overload satellite: a churn flood of never-touched stray flows must not
+// push a hot working set out of a capacity-bounded table. Clock is an LRU
+// approximation, not exact LRU: the very first sweep finds every bit set,
+// clears the whole ring and evicts the hand's starting entry — legitimately
+// a hot flow. After that transient the hot set (re-referenced every round,
+// faster than the hand revolves) is never touched again; the ~2000 steady-
+// state victims are all strays. A GRO engine re-creates an evicted hot flow
+// on its next packet, so the test does too, and bounds total hot casualties
+// by the transient.
+TEST(FlowTableTest, HotSetSurvivesChurnFloodAfterFirstSweepTransient) {
+  constexpr size_t kCap = 32;
+  constexpr uint16_t kHot = 8;
+  FlowTable<int> table;
+  for (uint16_t i = 0; i < kHot; ++i) {
+    table[TestFlow(i, 1)] = i;
+  }
+  size_t hot_evictions = 0;
+  size_t stray_evictions = 0;
+  for (uint16_t stray = 0; stray < 2'000; ++stray) {
+    table[TestFlow(stray, 9)] = -1;  // dst_port 9: one packet, never again
+    for (uint16_t i = 0; i < kHot; ++i) {
+      if (table.Find(TestFlow(i, 1)) == nullptr) {
+        table[TestFlow(i, 1)] = i;  // next packet of the hot flow re-creates it
+      }
+    }
+    while (table.size() > kCap) {
+      const FiveTuple* victim = table.ClockCandidate();
+      ASSERT_NE(victim, nullptr);
+      (victim->dst_port == 9 ? stray_evictions : hot_evictions)++;
+      ASSERT_TRUE(table.Erase(*victim));
+    }
+  }
+  EXPECT_LE(hot_evictions, kHot) << "hot flows must only fall to the first-sweep transient";
+  EXPECT_GE(stray_evictions, 1'900u);
+  for (uint16_t i = 0; i < kHot; ++i) {
+    EXPECT_NE(table.Find(TestFlow(i, 1)), nullptr) << "hot flow " << i << " missing at end";
+  }
+}
+
+// Overload satellite: eviction must be deterministic — two tables fed the
+// identical operation sequence yield the identical victim sequence. The
+// sharded engine's digest invariance rests on this: under brown-out cap
+// pressure every shard must pick the same victims at the same points.
+TEST(FlowTableTest, VictimOrderIsDeterministicAcrossInstances) {
+  auto run = [] {
+    FlowTable<int> table;
+    std::vector<FiveTuple> victims;
+    uint64_t rng = 0x9E3779B97F4A7C15ull;
+    for (int op = 0; op < 4'000; ++op) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const uint16_t port = static_cast<uint16_t>((rng >> 33) % 257);
+      table[TestFlow(port, 1)] = op;
+      if (table.size() > 64) {
+        const FiveTuple* victim = table.ClockCandidate();
+        victims.push_back(*victim);
+        table.Erase(*victim);
+      }
+    }
+    return victims;
+  };
+  const std::vector<FiveTuple> a = run();
+  const std::vector<FiveTuple> b = run();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i] == b[i]) << "victim " << i << " diverged";
+  }
+}
+
+// Overload satellite: with eviction holding the live count at a bound, the
+// table's memory footprint reaches a ceiling and stays there — unbounded
+// churn must not translate into unbounded slot-array or slab growth.
+TEST(FlowTableTest, ResidentBytesReachCeilingUnderBoundedEviction) {
+  constexpr size_t kCap = 128;
+  FlowTable<int> table;
+  size_t high_water = 0;
+  for (uint32_t i = 0; i < 50'000; ++i) {
+    table[TestFlow(static_cast<uint16_t>(i & 0xFFFF), static_cast<uint16_t>(i >> 16))] = 1;
+    while (table.size() > kCap) {
+      const FiveTuple* victim = table.ClockCandidate();
+      ASSERT_NE(victim, nullptr);
+      ASSERT_TRUE(table.Erase(*victim));
+    }
+    if (i == 1'000) {
+      high_water = table.resident_bytes();  // warmed up: rehash history settled
+    }
+    if (i > 1'000) {
+      ASSERT_LE(table.resident_bytes(), high_water)
+          << "footprint grew after warm-up at op " << i;
+    }
+  }
+  EXPECT_EQ(table.size(), kCap);
+}
+
 }  // namespace
 }  // namespace juggler
