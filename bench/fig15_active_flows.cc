@@ -44,7 +44,7 @@ double RunOnce(size_t num_flows, TimeNs reorder) {
   }
 
   PercentileSampler active_len;
-  NicRx* nic = t.receiver->nic_rx();
+  RxDriver* nic = t.receiver->nic_rx();
   PeriodicTask sampler(&world.loop, Us(100), Ms(150), [nic, &active_len] {
     size_t total = 0;
     for (size_t q = 0; q < nic->num_queues(); ++q) {

@@ -29,6 +29,7 @@
 
 #include "bench/perf_baseline.h"
 #include "src/core/juggler.h"
+#include "src/nic/rx_driver.h"
 #include "src/obs/flight_recorder.h"
 #include "src/packet/packet.h"
 #include "src/sim/event_loop.h"
@@ -199,6 +200,66 @@ double MeasureGroDatapathPacketsPerSec(uint64_t total_packets,
   return static_cast<double>(done) / secs;
 }
 
+// ------------------------------------------------------------ rx drivers --
+
+// Full receive-driver datapath on a live EventLoop: wire -> ring ->
+// poll/claim machinery -> batched GRO -> segment sink. Unlike the NIC-less
+// gro_datapath bench above, this pays each driver's own bookkeeping (NAPI
+// sessions for RSS; claim/commit windows and the in-order hand-off for
+// COREC), which is exactly the per-packet overhead the corec gate bounds.
+struct CountingSink : SegmentSink {
+  uint64_t bytes = 0;
+  void OnSegment(Segment s) override { bytes += s.payload_len; }
+};
+
+double MeasureRxDriverPacketsPerSec(RxDriverKind kind, uint64_t total_packets) {
+  EventLoop loop;
+  CpuCostModel costs;
+  CountingSink sink;
+  NicRxConfig cfg;
+  cfg.driver = kind;
+  std::unique_ptr<RxDriver> nic = MakeRxDriver(
+      &loop, &costs, cfg,
+      [](const CpuCostModel* c) -> std::unique_ptr<GroEngine> {
+        return std::make_unique<Juggler>(c, JugglerConfig{});
+      },
+      &sink);
+
+  PacketFactory factory;
+  FiveTuple flow;
+  flow.src_ip = 0x0a000001;
+  flow.dst_ip = 0x0a000002;
+  flow.src_port = 1000;
+  flow.dst_port = 2000;
+
+  constexpr uint64_t kBurst = 64;
+  Seq seq = 0;
+  auto burst = [&] {
+    for (uint64_t j = 0; j < kBurst; ++j) {
+      PacketPtr p = factory.Make();
+      p->flow = flow;
+      p->seq = seq;
+      p->payload_len = kMss;
+      p->flags = kFlagAck;
+      nic->Accept(std::move(p));
+      seq += kMss;
+    }
+    loop.Run();
+  };
+  // Untimed warm-up (first-touch of rings, cores, GRO tables).
+  for (uint64_t done = 0; done < total_packets / 16 + kBurst; done += kBurst) {
+    burst();
+  }
+  uint64_t done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < total_packets) {
+    burst();
+    done += kBurst;
+  }
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0);
+  return static_cast<double>(done) / secs;
+}
+
 // ----------------------------------------------------------------- suite --
 
 struct Results {
@@ -206,6 +267,8 @@ struct Results {
   double churn_ops_per_sec = 0;
   double packets_per_sec = 0;
   double obs_on_packets_per_sec = 0;  // same datapath, flight recorder attached
+  double rss_driver_packets_per_sec = 0;    // full NicRx (RSS+NAPI) datapath
+  double corec_driver_packets_per_sec = 0;  // full CorecRx datapath
 };
 
 Results RunSuite(bool smoke) {
@@ -226,11 +289,20 @@ Results RunSuite(bool smoke) {
       FlightRecorder recorder(/*shard=*/0);
       cur.obs_on_packets_per_sec = MeasureGroDatapathPacketsPerSec(packets, &recorder);
     }
+    const uint64_t driver_packets = packets / 4;  // full drivers are ~4x costlier
+    cur.rss_driver_packets_per_sec =
+        MeasureRxDriverPacketsPerSec(RxDriverKind::kRss, driver_packets);
+    cur.corec_driver_packets_per_sec =
+        MeasureRxDriverPacketsPerSec(RxDriverKind::kCorec, driver_packets);
     best.events_per_sec = std::max(best.events_per_sec, cur.events_per_sec);
     best.churn_ops_per_sec = std::max(best.churn_ops_per_sec, cur.churn_ops_per_sec);
     best.packets_per_sec = std::max(best.packets_per_sec, cur.packets_per_sec);
     best.obs_on_packets_per_sec =
         std::max(best.obs_on_packets_per_sec, cur.obs_on_packets_per_sec);
+    best.rss_driver_packets_per_sec =
+        std::max(best.rss_driver_packets_per_sec, cur.rss_driver_packets_per_sec);
+    best.corec_driver_packets_per_sec =
+        std::max(best.corec_driver_packets_per_sec, cur.corec_driver_packets_per_sec);
   }
   return best;
 }
@@ -307,6 +379,29 @@ int GateObsOverhead(const Results& r, double tolerance) {
   return 0;
 }
 
+// The COREC acceptance gate: the concurrent single-queue driver's per-packet
+// wall cost (measured through the full driver datapath) must stay within
+// `max_ratio` of RSS+NAPI's — the claim/commit and hand-off bookkeeping is
+// allowed to cost something, but not to change the simulator's complexity
+// class. Cost ratio = rss_rate / corec_rate (rates invert costs).
+int GateCorecOverhead(const Results& r, double max_ratio) {
+  const double cost_ratio = r.corec_driver_packets_per_sec > 0
+                                ? r.rss_driver_packets_per_sec / r.corec_driver_packets_per_sec
+                                : 0.0;
+  std::printf("corec gate: rx_driver datapath rss %.0f pkts/sec, corec %.0f pkts/sec "
+              "(corec per-packet cost %.2fx of rss)\n",
+              r.rss_driver_packets_per_sec, r.corec_driver_packets_per_sec, cost_ratio);
+  if (cost_ratio <= 0.0 || cost_ratio > max_ratio) {
+    std::fprintf(stderr,
+                 "COREC GATE FAIL: corec per-packet cost is %.2fx of rss "
+                 "(tolerance %.2fx) — the claim/commit path got expensive\n",
+                 cost_ratio, max_ratio);
+    return 1;
+  }
+  std::printf("corec gate: corec datapath within %.2fx of rss\n", max_ratio);
+  return 0;
+}
+
 // The reference the current numbers are compared against in the output
 // file. Normally the compiled-in perf_baseline constants; when this run IS
 // a recording pass (--baseline-header), the fresh numbers themselves, so
@@ -349,6 +444,9 @@ void WriteJson(const Results& r, const BaselineView& base, const std::string& pa
   current.Set("timer_churn_ops_per_sec", Json::Double(r.churn_ops_per_sec));
   current.Set("gro_datapath_packets_per_sec", Json::Double(r.packets_per_sec));
   current.Set("gro_datapath_obs_on_packets_per_sec", Json::Double(r.obs_on_packets_per_sec));
+  current.Set("rx_driver_rss_packets_per_sec", Json::Double(r.rss_driver_packets_per_sec));
+  current.Set("rx_driver_corec_packets_per_sec",
+              Json::Double(r.corec_driver_packets_per_sec));
   doc.Set("current", std::move(current));
   Json speedup = Json::Object();
   speedup.Set("event_loop", Json::Double(Ratio(r.events_per_sec, base.events_per_sec)));
@@ -436,6 +534,8 @@ int CheckSchema(const std::string& path) {
       "\"commit\"",        "\"event_loop_events_per_sec\"",
       "\"timer_churn_ops_per_sec\"", "\"gro_datapath_packets_per_sec\"",
       "\"gro_datapath_obs_on_packets_per_sec\"",
+      "\"rx_driver_rss_packets_per_sec\"",
+      "\"rx_driver_corec_packets_per_sec\"",
       "\"event_loop\"",    "\"timer_churn\"",
       "\"gro_datapath\"",
   };
@@ -457,6 +557,7 @@ int Main(int argc, char** argv) {
   bool print_header = false;
   double gate_tolerance = 0.0;      // 0 = no gate
   double obs_gate_tolerance = 0.0;  // 0 = no obs gate; 0.98 = the 2% bar
+  double corec_gate_ratio = 0.0;    // 0 = no corec gate; 1.3 = the acceptance bar
   std::string out_path = "BENCH_core.json";
   std::string header_path;          // non-empty: this run records the baseline
   std::string commit_label = "unrecorded";
@@ -483,12 +584,18 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "--obs-gate needs a tolerance ratio > 0 (e.g. 0.98)\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--corec-gate") == 0 && i + 1 < argc) {
+      corec_gate_ratio = std::strtod(argv[++i], nullptr);
+      if (corec_gate_ratio <= 0.0) {
+        std::fprintf(stderr, "--corec-gate needs a max cost ratio > 0 (e.g. 1.3)\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
       return CheckSchema(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: perf_core [--smoke] [--out PATH] [--gate RATIO] "
-                   "[--obs-gate RATIO] [--print-baseline-header]\n"
+                   "[--obs-gate RATIO] [--corec-gate RATIO] [--print-baseline-header]\n"
                    "                 [--baseline-header PATH] [--commit LABEL] "
                    "[--check PATH]\n");
       return 2;
@@ -528,6 +635,11 @@ int Main(int argc, char** argv) {
   std::printf("%-32s %16s %16.0f %9.2fx\n", "gro_datapath obs-on pkts/sec", "(vs obs-off)",
               r.obs_on_packets_per_sec,
               Ratio(r.obs_on_packets_per_sec, r.packets_per_sec));
+  std::printf("%-32s %16s %16.0f %9s\n", "rx_driver rss pkts/sec", "-",
+              r.rss_driver_packets_per_sec, "-");
+  std::printf("%-32s %16s %16.0f %8.2fx\n", "rx_driver corec pkts/sec", "(cost vs rss)",
+              r.corec_driver_packets_per_sec,
+              Ratio(r.rss_driver_packets_per_sec, r.corec_driver_packets_per_sec));
   BaselineView base;
   if (!header_path.empty()) {
     // Recording pass: the JSON's reference is the header just written, so
@@ -546,6 +658,9 @@ int Main(int argc, char** argv) {
   }
   if (obs_gate_tolerance > 0.0) {
     failures += GateObsOverhead(r, obs_gate_tolerance);
+  }
+  if (corec_gate_ratio > 0.0) {
+    failures += GateCorecOverhead(r, corec_gate_ratio);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -19,6 +19,8 @@
 //   ./build/examples/chaos_runner --app bulk-transfer --stack presto
 //   ./build/examples/chaos_runner --overload       # incast/churn/brownout
 //                                                  # pressure + recovery audit
+//   ./build/examples/chaos_runner --rx-driver corec  # COREC concurrent
+//                                                    # single-queue RX driver
 //
 // Exit status: 0 when every run is clean, 1 on any violation or mismatch —
 // the failing (family, seed) pair printed is a complete repro recipe.
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
   AppWorkloadKind app_kind = AppWorkloadKind::kNone;
   bool single_stack = false;
   StackKind stack = StackKind::kJuggler;
+  RxDriverKind rx_driver = RxDriverKind::kRss;
   std::string trace_path;
   std::vector<FaultFamily> families(std::begin(kAllFamilies), std::end(kAllFamilies));
 
@@ -109,10 +112,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       single_stack = true;
+    } else if (std::strcmp(argv[i], "--rx-driver") == 0) {
+      if (!ParseRxDriverKind(next("--rx-driver"), &rx_driver)) {
+        std::fprintf(stderr, "unknown rx driver (rss corec)\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "usage: %s [--seeds N] [--base-seed S] [--bytes B] "
                            "[--family NAME] [--shards N] [--app KIND] [--stack NAME] "
-                           "[--overload] [--metrics] [--trace FILE]\n",
+                           "[--rx-driver NAME] [--overload] [--metrics] [--trace FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -133,6 +141,7 @@ int main(int argc, char** argv) {
       opt.family = family;
       opt.transfer_bytes = bytes;
       opt.shards = shards;
+      opt.rx_driver = rx_driver;
       opt.obs.metrics = metrics;
       opt.obs.trace = !trace_path.empty();
       if (app_kind != AppWorkloadKind::kNone) {

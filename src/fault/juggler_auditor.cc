@@ -137,7 +137,7 @@ void JugglerAuditor::CheckInvariants(const char* when) {
   }
 }
 
-NicRx::GroFactory MakeAuditedJugglerFactory(JugglerConfig config, AuditLog* log) {
+RxDriver::GroFactory MakeAuditedJugglerFactory(JugglerConfig config, AuditLog* log) {
   return [config, log](const CpuCostModel* costs) -> std::unique_ptr<GroEngine> {
     return std::make_unique<JugglerAuditor>(std::make_unique<Juggler>(costs, config), log);
   };

@@ -67,7 +67,7 @@ class JugglerAuditor : public GroEngine {
 };
 
 // A Juggler factory whose engines are wrapped in auditors sharing `log`.
-NicRx::GroFactory MakeAuditedJugglerFactory(JugglerConfig config, AuditLog* log);
+RxDriver::GroFactory MakeAuditedJugglerFactory(JugglerConfig config, AuditLog* log);
 
 }  // namespace juggler
 

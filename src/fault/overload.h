@@ -94,7 +94,7 @@ struct OverloadWiring {
   EventLoop* loop = nullptr;
   PacketSink* inject = nullptr;       // receiver NIC ingress (wire_in)
   PacketFactory* factory = nullptr;   // receiver-side factory
-  NicRx* receiver_nic = nullptr;
+  RxDriver* receiver_nic = nullptr;
   const NicTxStats* sender_tx = nullptr;
   const NicTxStats* receiver_tx = nullptr;
   const FaultStats* fault = nullptr;  // optional (null = no fault stage)

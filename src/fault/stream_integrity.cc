@@ -6,6 +6,18 @@
 
 namespace juggler {
 
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// The synthetic content of stream byte `pos`: a fixed position-derived value,
+// standing in for payload bytes the simulator doesn't carry.
+inline uint8_t StreamByte(uint64_t pos) {
+  return static_cast<uint8_t>((pos * 0x9E3779B97F4A7C15ULL) >> 56);
+}
+
+}  // namespace
+
 StreamIntegrityChecker::StreamIntegrityChecker(std::string name, AuditLog* log)
     : name_(std::move(name)), log_(log) {
   JUG_CHECK(log_ != nullptr);
@@ -27,11 +39,17 @@ void StreamIntegrityChecker::OnDeliverTotal(uint64_t total_bytes) {
     log_->Violation(name_, "delivery total not strictly increasing: " +
                                std::to_string(total_bytes) + " after " +
                                std::to_string(delivered_total_));
+    // An anomalous delivery must never hash equal to a clean one.
+    stream_digest_ = (stream_digest_ ^ 0xBADull) * kFnvPrime;
   }
   if (expected_bytes_ > 0 && total_bytes > expected_bytes_) {
     log_->Violation(name_, "delivered " + std::to_string(total_bytes) +
                                " bytes, more than the " +
                                std::to_string(expected_bytes_) + " sent");
+  }
+  // Fold the newly delivered in-order bytes into the stream digest.
+  for (uint64_t pos = delivered_total_; pos < total_bytes; ++pos) {
+    stream_digest_ = (stream_digest_ ^ StreamByte(pos)) * kFnvPrime;
   }
   delivered_total_ = total_bytes;
 }

@@ -52,12 +52,23 @@ class StreamIntegrityChecker {
   uint64_t segment_bytes_covered() const { return covered_.TotalBytes(); }
   uint64_t deliver_callbacks() const { return deliver_callbacks_; }
 
+  // FNV-1a fold over the position-derived content of every in-order byte the
+  // app received, in delivery order, plus any delivery anomalies observed.
+  // The simulator carries no payload bytes, so "content" is a fixed function
+  // of stream position — with synthetic payloads this is exactly the hash a
+  // real implementation would compute over the delivered byte stream. By
+  // construction it is independent of chunking, poll boundaries and timing:
+  // two runs agree iff they delivered the same contiguous prefix exactly
+  // once — the cross-driver (RSS vs COREC) conformance oracle.
+  uint64_t stream_digest() const { return stream_digest_; }
+
  private:
   std::string name_;
   AuditLog* log_;
   uint64_t expected_bytes_ = 0;
   uint64_t delivered_total_ = 0;
   uint64_t deliver_callbacks_ = 0;
+  uint64_t stream_digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
   // Byte ranges seen in data segments at the GRO/TCP boundary. Overlaps are
   // legal (retransmissions reach TCP); gaps at the end of the run are not.
   SeqRangeSet covered_;

@@ -51,6 +51,14 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       spec.app.retry.attempt_timeout = Ms(2);
       spec.app.plant_stale_token = true;
     }
+    if (options.plant_corec_wedge) {
+      // Deterministic overrides: the wedge only exists on the COREC driver,
+      // and a raw bulk transfer makes the resulting stall a clean integrity
+      // violation (app retries would muddy the signature).
+      spec.rx_driver = RxDriverKind::kCorec;
+      spec.plant_corec_wedge = true;
+      spec.app = AppWorkloadOptions{};
+    }
     ExecOptions exec;
     exec.timeout_ms = options.timeout_ms;
     const SpecOutcome outcome = ExecuteSpec(spec, exec);

@@ -42,6 +42,11 @@ struct FuzzOptions {
   // retries actually fire — drop bursts alone are recovered by TCP fast
   // retransmit before any sane app timeout expires.
   bool plant_app_stale_token = false;
+  // Test-only: run every sampled spec on the COREC receive driver with the
+  // hand-off wedge plant armed (ScenarioSpec::plant_corec_wedge) — a
+  // COREC-only stall-to-deadlock defect the pipeline must find, shrink
+  // (keeping the corec axis; see Shrinker::SimplifyRxDriver) and replay.
+  bool plant_corec_wedge = false;
   // Attach a flight-recorder snapshot (metrics + trace) to each written
   // bundle by re-running the shrunk spec in-process with observability on.
   // Only done for cooperative failure kinds (invariant violation, digest

@@ -32,6 +32,8 @@ bool IsKnownSpecKey(const std::string& key) {
       "flaps",
       "plant_flush_skew",
       "plant_wedge",
+      "rx_driver",
+      "plant_corec_wedge",
       "app_kind",
       "app_sessions",
       "app_requests_per_session",
@@ -83,6 +85,9 @@ ChaosOptions ScenarioSpec::ToChaosOptions() const {
   opt.use_explicit_flaps = use_explicit_flaps;
   opt.flap_override = flaps;
   opt.plant_flush_skew = plant_flush_skew;
+  opt.rx_driver = rx_driver;
+  // Depth 1: wedge at the very first out-of-order stall the hand-off sees.
+  opt.plant_corec_wedge_depth = plant_corec_wedge ? 1 : 0;
   opt.overload.windows = overload_windows;
   opt.overload.pool_capacity = static_cast<size_t>(overload_pool_capacity);
   opt.overload.ring_capacity = static_cast<size_t>(overload_ring_capacity);
@@ -141,6 +146,14 @@ Json ScenarioSpec::ToJson() const {
   }
   if (plant_wedge) {
     j.Set("plant_wedge", Json::Bool(true));
+  }
+  // Driver key only when non-default: pre-COREC specs (and every rss spec)
+  // re-serialize byte-identically.
+  if (rx_driver != RxDriverKind::kRss) {
+    j.Set("rx_driver", Json::Str(RxDriverKindName(rx_driver)));
+  }
+  if (plant_corec_wedge) {
+    j.Set("plant_corec_wedge", Json::Bool(true));
   }
   // App-workload block only when one rides the run: specs written before
   // the app layer existed re-serialize byte-identically.
@@ -201,12 +214,23 @@ bool ScenarioSpec::FromJson(const Json& json, ScenarioSpec* out, std::string* er
       !json.GetBool("use_explicit_faults", &s.use_explicit_faults) ||
       !json.GetBool("use_explicit_flaps", &s.use_explicit_flaps) ||
       !json.GetBool("plant_flush_skew", &s.plant_flush_skew) ||
-      !json.GetBool("plant_wedge", &s.plant_wedge)) {
+      !json.GetBool("plant_wedge", &s.plant_wedge) ||
+      !json.GetBool("plant_corec_wedge", &s.plant_corec_wedge)) {
     *error = "spec: field with wrong type";
     return false;
   }
   if (!ParseFaultFamily(family_name.c_str(), &s.family)) {
     *error = "spec: unknown family \"" + family_name + "\"";
+    return false;
+  }
+  // Receive driver: absent-tolerant (pre-COREC specs carry no key).
+  std::string rx_driver_name = RxDriverKindName(s.rx_driver);
+  if (!json.GetString("rx_driver", &rx_driver_name)) {
+    *error = "spec: rx_driver with wrong type";
+    return false;
+  }
+  if (!ParseRxDriverKind(rx_driver_name, &s.rx_driver)) {
+    *error = "spec: unknown rx_driver \"" + rx_driver_name + "\"";
     return false;
   }
   s.num_windows = static_cast<int>(num_windows);
@@ -330,6 +354,13 @@ ScenarioSpec SampleScenarioSpec(Rng* rng, const SampleLimits& limits) {
     a.issue_interval = app_rng.NextInRange(Ms(1), Ms(3));
     // Retry policy stays at the defaults: generous deadlines so a correct
     // stack always completes — the fuzzer hunts bugs, not resource limits.
+  }
+  // Receive-driver draw from its own seed-derived stream, like the app and
+  // overload draws: pinned fuzz seeds keep sampling the exact specs they
+  // always did, they just sometimes run them on the COREC driver now.
+  Rng rxd_rng(s.seed ^ 0xC04E'C0DD'5EED'F00DULL);
+  if (rxd_rng.NextBool(limits.corec_prob)) {
+    s.rx_driver = RxDriverKind::kCorec;
   }
   // Overload draws come from their own seed-derived stream for the same
   // reason: a pinned fuzz seed samples the same non-overload fields whether

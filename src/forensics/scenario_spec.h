@@ -43,6 +43,11 @@ struct ScenarioSpec {
   TimeNs ofo_timeout = Us(300);
   uint64_t max_flows = 64;
 
+  // Receive-path architecture, both hosts (kRss is the classic NAPI model;
+  // the JSON key is emitted only when non-default so historical bundles
+  // stay byte-identical).
+  RxDriverKind rx_driver = RxDriverKind::kRss;
+
   // Execution shape. shards == 0 is the legacy single event loop.
   uint64_t shards = 0;
   uint64_t shard_mailbox_capacity = 0;
@@ -70,6 +75,12 @@ struct ScenarioSpec {
   // and a child that wedges in an infinite loop (exercises the watchdog).
   bool plant_flush_skew = false;
   bool plant_wedge = false;
+  // Planted COREC-only defect: permanently wedge the receiver's in-order
+  // hand-off stage at its first out-of-order stall, so claimed packets never
+  // reach GRO again and the stream integrity oracle fires. Implies the run
+  // only fails under rx_driver == kCorec — the shrinker's SimplifyRxDriver
+  // pass must therefore keep the corec axis in the minimal repro.
+  bool plant_corec_wedge = false;
 
   // Application workload riding the run (kind == kNone is the classic raw
   // byte transfer). app.plant_stale_token is the app-layer planted defect:
@@ -117,6 +128,10 @@ struct SampleLimits {
   // app draws, overload draws come from their own seed-derived stream, so
   // this knob never shifts any other field of a sampled spec.
   double overload_prob = 0.25;
+  // Probability a sampled spec runs the COREC receive driver instead of
+  // RSS+NAPI. Drawn from its own seed-derived stream (pinned fuzz seeds
+  // keep sampling the exact specs they always did).
+  double corec_prob = 0.3;
 };
 
 // One random spec, every decision drawn from `rng`.

@@ -26,6 +26,7 @@ class Shrinker {
       progressed |= HalveWindowSpans(&result.spec);
       progressed |= HalveMagnitudes(&result.spec);
       progressed |= WeakenOverload(&result.spec);
+      progressed |= SimplifyRxDriver(&result.spec);
       progressed |= ShrinkWorkload(&result.spec);
     }
     result.runs = runs_;
@@ -206,6 +207,24 @@ class Shrinker {
       try_edit([](ScenarioSpec* s) { s->overload_pool_capacity *= 2; });
     }
     return any;
+  }
+
+  // Try the simpler receive architecture: a repro that still fails on the
+  // classic RSS+NAPI driver has nothing to do with the COREC axis (and drops
+  // the plant flag with it). A COREC-only failure rejects the candidate, so
+  // the minimal repro keeps rx_driver=corec — exactly the evidence wanted.
+  bool SimplifyRxDriver(ScenarioSpec* spec) {
+    if (spec->rx_driver == RxDriverKind::kRss || Exhausted()) {
+      return false;
+    }
+    ScenarioSpec candidate = *spec;
+    candidate.rx_driver = RxDriverKind::kRss;
+    candidate.plant_corec_wedge = false;
+    if (StillFails(candidate)) {
+      *spec = std::move(candidate);
+      return true;
+    }
+    return false;
   }
 
   // Halve fault probabilities and delay magnitudes per window.

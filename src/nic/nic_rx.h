@@ -26,69 +26,12 @@
 #include <memory>
 #include <vector>
 
-#include "src/cpu/cost_model.h"
-#include "src/cpu/cpu_core.h"
-#include "src/gro/gro_engine.h"
-#include "src/net/packet_sink.h"
-#include "src/sim/event_loop.h"
+#include "src/nic/rx_driver.h"
 
 namespace juggler {
 
-// Receives merged segments from the NIC (still on the RX core clock); the
-// host implementation forwards them to the app core and TCP.
-class SegmentSink {
+class NicRx : public RxDriver {
  public:
-  virtual ~SegmentSink() = default;
-  virtual void OnSegment(Segment segment) = 0;
-
-  // Every segment one RX-core work item made visible, in delivery order.
-  // Equivalent to OnSegment() on each in turn; hosts override to pay one
-  // virtual hop per poll round instead of one per segment.
-  virtual void OnSegmentBatch(Segment* segments, size_t count) {
-    for (size_t i = 0; i < count; ++i) {
-      OnSegment(std::move(segments[i]));
-    }
-  }
-};
-
-struct NicRxConfig {
-  size_t num_queues = 1;
-  // Minimum spacing between interrupts per queue (τ₀; 125µs in the paper's
-  // testbed, §5.2.1).
-  TimeNs int_coalesce = Us(125);
-  size_t ring_capacity = 4096;
-  // NAPI budget: packets per poll round. The engine's PollComplete (GRO
-  // flush / timeout checks) runs at the end of every round, as the kernel's
-  // polling loop does.
-  size_t napi_budget = 64;
-  // >= 0 forces all packets to one queue (the paper aims all flows at a
-  // single RX queue in the CPU experiments); -1 uses RSS hashing.
-  int force_queue = -1;
-  // Hand each poll round to the GRO engine packet-by-packet (Receive) instead
-  // of as one batch (ReceiveBatch). The two must be observably identical —
-  // same segments, costs, and stats — so this exists only as the reference
-  // arm of determinism regression tests; leave it off everywhere else.
-  bool per_packet_dispatch = false;
-  // Optional flight recorder handed to the GRO engines and the interrupt
-  // path; null leaves tracing off.
-  FlightRecorder* recorder = nullptr;
-};
-
-struct NicRxStats {
-  uint64_t packets_in = 0;
-  uint64_t ring_drops = 0;
-  uint64_t checksum_drops = 0;  // corrupted frames discarded at validation
-  uint64_t interrupts = 0;
-  uint64_t polls = 0;
-  uint64_t coalesce_arms = 0;           // interrupt armed behind the τ₀ spacing
-  uint64_t napi_budget_exhausted = 0;   // poll rounds that hit napi_budget
-  uint64_t ring_high_watermark = 0;     // deepest any queue's ring ever got
-};
-
-class NicRx : public PacketSink {
- public:
-  using GroFactory = std::function<std::unique_ptr<GroEngine>(const CpuCostModel*)>;
-
   // NAPI stays in polling mode at most this long before completing the
   // session ("up to a brief interval of time (at most 2 milliseconds)").
   static constexpr TimeNs kMaxPollSession = Ms(2);
@@ -100,27 +43,27 @@ class NicRx : public PacketSink {
   // Packet arriving from the wire.
   void Accept(PacketPtr packet) override;
 
-  size_t num_queues() const { return queues_.size(); }
-  CpuCore* rx_core(size_t q) { return &queues_[q]->core; }
-  GroEngine* gro(size_t q) { return queues_[q]->gro.get(); }
-  const NicRxStats& stats() const { return stats_; }
+  size_t num_queues() const override { return queues_.size(); }
+  CpuCore* rx_core(size_t q) override { return &queues_[q]->core; }
+  GroEngine* gro(size_t q) override { return queues_[q]->gro.get(); }
+  const NicRxStats& stats() const override { return stats_; }
 
   // Sum of GRO stats across queues.
-  GroStats TotalGroStats() const;
+  GroStats TotalGroStats() const override;
 
-  const NicRxConfig& config() const { return config_; }
+  const NicRxConfig& config() const override { return config_; }
 
   // Overload-resilience knobs (memory brown-outs shrink these mid-run).
   // Shrinking the ring does not evict already-queued packets; it only tail-
   // drops new arrivals until polls drain the ring under the new cap.
-  void set_ring_capacity(size_t capacity) {
+  void set_ring_capacity(size_t capacity) override {
     config_.ring_capacity = capacity < 1 ? 1 : capacity;
   }
 
   // Propagate a flow-table pressure cap to every queue's GRO engine, through
   // the RX cores (same path as GRO timers) so evicted segments are delivered
   // and charged exactly like any other GRO work.
-  void ApplyGroFlowCap(size_t max_flows);
+  void ApplyGroFlowCap(size_t max_flows) override;
 
  private:
   // Each queue is its engine's GroHost: deliveries buffer into the queue's
@@ -163,10 +106,6 @@ class NicRx : public PacketSink {
   std::vector<std::unique_ptr<RxQueue>> queues_;
   NicRxStats stats_;
 };
-
-// Snapshot a NicRxStats into `registry` under `label` (e.g. "receiver").
-void PublishNicRxStats(const NicRxStats& stats, const std::string& label,
-                       MetricsRegistry* registry);
 
 }  // namespace juggler
 

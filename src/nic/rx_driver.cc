@@ -1,0 +1,54 @@
+#include "src/nic/rx_driver.h"
+
+#include "src/nic/corec_rx.h"
+#include "src/nic/nic_rx.h"
+
+namespace juggler {
+
+const char* RxDriverKindName(RxDriverKind kind) {
+  switch (kind) {
+    case RxDriverKind::kRss: return "rss";
+    case RxDriverKind::kCorec: return "corec";
+  }
+  return "unknown";
+}
+
+bool ParseRxDriverKind(const std::string& name, RxDriverKind* out) {
+  if (name == "rss") {
+    *out = RxDriverKind::kRss;
+    return true;
+  }
+  if (name == "corec") {
+    *out = RxDriverKind::kCorec;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<RxDriver> MakeRxDriver(EventLoop* loop, const CpuCostModel* costs,
+                                       const NicRxConfig& config,
+                                       const RxDriver::GroFactory& gro_factory,
+                                       SegmentSink* sink) {
+  switch (config.driver) {
+    case RxDriverKind::kCorec:
+      return std::make_unique<CorecRx>(loop, costs, config, gro_factory, sink);
+    case RxDriverKind::kRss:
+      break;
+  }
+  return std::make_unique<NicRx>(loop, costs, config, gro_factory, sink);
+}
+
+void PublishCorecRxStats(const CorecRxStats& stats, const std::string& label,
+                         MetricsRegistry* registry) {
+  registry->AddCounter("nic.corec_claims", label, stats.claims);
+  registry->AddCounter("nic.corec_claimed_packets", label, stats.claimed_packets);
+  registry->AddCounter("nic.corec_commits", label, stats.commits);
+  registry->AddCounter("nic.corec_ooo_commits", label, stats.ooo_commits);
+  registry->AddCounter("nic.corec_handoff_runs", label, stats.handoff_runs);
+  registry->AddCounter("nic.corec_handoff_stalls", label, stats.handoff_stalls);
+  registry->AddCounter("nic.corec_wedged", label, stats.wedged);
+  registry->MaxGauge("nic.corec_ooo_depth_max", label, stats.ooo_depth_max);
+  registry->MaxGauge("nic.corec_claim_occupancy_hwm", label, stats.claim_occupancy_hwm);
+}
+
+}  // namespace juggler

@@ -15,6 +15,10 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kNapiBudget: return "napi_budget";
     case TraceKind::kFault: return "fault";
     case TraceKind::kAppEvent: return "app";
+    case TraceKind::kCorecClaim: return "corec_claim";
+    case TraceKind::kCorecCommit: return "corec_commit";
+    case TraceKind::kCorecHandoff: return "corec_handoff";
+    case TraceKind::kCorecStall: return "corec_stall";
     case TraceKind::kKindCount: break;
   }
   return "unknown";
@@ -126,6 +130,20 @@ Json EventArgs(const TraceEvent& e, const TraceNamer& namer) {
       args.Set("request", Json::Uint(e.b));
       args.Set("token", Json::Uint(e.c));
       break;
+    case TraceKind::kCorecClaim:
+    case TraceKind::kCorecCommit:
+      args.Set("consumer", Json::Uint(e.a));
+      args.Set("window", Json::Uint(e.b));
+      args.Set("first_seq", Json::Uint(e.c));
+      break;
+    case TraceKind::kCorecHandoff:
+      args.Set("run", Json::Uint(e.a));
+      args.Set("slots_left", Json::Uint(e.b));
+      break;
+    case TraceKind::kCorecStall:
+      args.Set("parked", Json::Uint(e.a));
+      args.Set("slot_depth", Json::Uint(e.b));
+      break;
     case TraceKind::kKindCount:
       break;
   }
@@ -141,6 +159,10 @@ const char* EventCategory(TraceKind kind) {
     case TraceKind::kNicInterrupt:
     case TraceKind::kNicCoalesceArm:
     case TraceKind::kNapiBudget:
+    case TraceKind::kCorecClaim:
+    case TraceKind::kCorecCommit:
+    case TraceKind::kCorecHandoff:
+    case TraceKind::kCorecStall:
       return "nic";
     case TraceKind::kFault:
       return "fault";

@@ -30,7 +30,11 @@ enum class TraceKind : uint8_t {
   kNapiBudget = 5,     // a=queue index, b=ring depth left over
   kFault = 6,          // a=fault code (see kFaultCodeName), b=packet seq, c=payload bytes
   kAppEvent = 7,       // a=app code (see AppCodeName), b=request id, c=idempotency token
-  kKindCount = 8,
+  kCorecClaim = 8,     // a=consumer index, b=window size, c=first ring seq
+  kCorecCommit = 9,    // a=consumer index, b=window size, c=first ring seq
+  kCorecHandoff = 10,  // a=run length, b=claim slots left behind the run
+  kCorecStall = 11,    // a=completed slots parked behind the hole, b=slot depth
+  kKindCount = 12,
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -94,10 +94,15 @@ NetFpgaOptions ChaosTestbedOptions(const ChaosOptions& opt, StackKind stack, Aud
   nopt.sender.rx.int_coalesce = opt.int_coalesce;
   nopt.sender.rx.recorder = sender_rec;
   nopt.sender.rx.per_packet_dispatch = opt.per_packet_dispatch;
+  nopt.sender.rx.driver = opt.rx_driver;
   nopt.sender.gro_factory = MakeStandardGroFactory();
   nopt.receiver.rx.int_coalesce = opt.int_coalesce;
   nopt.receiver.rx.recorder = receiver_rec;
   nopt.receiver.rx.per_packet_dispatch = opt.per_packet_dispatch;
+  nopt.receiver.rx.driver = opt.rx_driver;
+  // The hand-off wedge plant targets the receiver: that is where the data
+  // stream (and so the integrity oracle) lives.
+  nopt.receiver.rx.debug_corec_wedge_depth = opt.plant_corec_wedge_depth;
 
   JugglerConfig jcfg;
   jcfg.inseq_timeout = opt.inseq_timeout;
@@ -170,6 +175,12 @@ void PublishChaosMetrics(const Testbed* t, const EndpointPair* pair, LinkFlapper
                          StackKind stack, const AppHarness* app, MetricsRegistry* m) {
   PublishNicRxStats(t->sender->nic_rx()->stats(), "sender", m);
   PublishNicRxStats(t->receiver->nic_rx()->stats(), "receiver", m);
+  if (const CorecRxStats* cs = t->sender->nic_rx()->corec_stats()) {
+    PublishCorecRxStats(*cs, "sender", m);
+  }
+  if (const CorecRxStats* cs = t->receiver->nic_rx()->corec_stats()) {
+    PublishCorecRxStats(*cs, "receiver", m);
+  }
   PublishNicTxStats(t->sender->nic_tx()->stats(), "sender", m);
   PublishNicTxStats(t->receiver->nic_tx()->stats(), "receiver", m);
   PublishGroStats(t->receiver->nic_rx()->TotalGroStats(),
@@ -239,6 +250,9 @@ void FinishRun(const ChaosOptions& opt, Testbed* t, EndpointPair* pair, LinkFlap
       log->Violation(r->engine, "transfer incomplete: " + std::to_string(r->bytes_delivered) +
                                     " of " + std::to_string(opt.transfer_bytes) + " bytes");
     }
+    // Chunk-independent stream identity: equal across receive drivers for
+    // the same (seed, options). NOT mixed into the run digest.
+    r->stream_digest = integrity->stream_digest();
   }
   // Overload finalization before the log is read: FinalCheck's violations
   // (conservation, recovery, drained tables) must count and digest.
@@ -772,9 +786,11 @@ ChaosResult RunChaos(const ChaosOptions& options) {
     // The two engines must agree on the application byte stream. Totals
     // plus each run's own integrity check (contiguity, exactly-once) make
     // the comparison: identical totals of identical contiguous prefixes are
-    // the identical stream.
+    // the identical stream. The stream digest folds the same facts plus any
+    // delivery anomalies, so it must agree whenever the totals do.
     result.streams_match =
-        result.juggler.bytes_delivered == result.baseline.bytes_delivered;
+        result.juggler.bytes_delivered == result.baseline.bytes_delivered &&
+        result.juggler.stream_digest == result.baseline.stream_digest;
   }
   result.ok = result.juggler.completed && result.baseline.completed &&
               result.juggler.violations == 0 && result.baseline.violations == 0 &&

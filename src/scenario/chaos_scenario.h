@@ -29,6 +29,7 @@
 #include "src/fault/link_flapper.h"
 #include "src/fault/overload.h"
 #include "src/net/link.h"
+#include "src/nic/rx_driver.h"
 #include "src/obs/obs.h"
 #include "src/util/time.h"
 #include "src/workload/app_resilience.h"
@@ -88,6 +89,16 @@ struct ChaosOptions {
   // bit-identical either way — determinism regression tests flip this to
   // pin the batched fold path to per-packet semantics.
   bool per_packet_dispatch = false;
+  // Receive-path architecture, both hosts (NicRxConfig::driver). The run
+  // digest is per-driver (poll/flush timing legitimately differs), but the
+  // TCP-level stream digest must be byte-identical across drivers for every
+  // stack — the rx_conformance matrix pins that.
+  RxDriverKind rx_driver = RxDriverKind::kRss;
+  // COREC fault plant (forensics tests only): wedge the receiver's in-order
+  // hand-off stage the first time >= this many completed claim slots park
+  // behind an incomplete head window (NicRxConfig::debug_corec_wedge_depth).
+  // 0 = off. Meaningless under rx_driver == kRss.
+  size_t plant_corec_wedge_depth = 0;
 
   // ---- Forensics knobs. Every default reproduces the historical run
   // ---- bit-for-bit; the fuzzer samples these, and a repro bundle pins them.
@@ -164,6 +175,15 @@ struct ChaosEngineResult {
   // FNV-1a over the run's observable counters: same seed + options must
   // reproduce this bit-identically.
   uint64_t digest = 0;
+  // TCP-level stream digest (raw transfers only; 0 for app runs): an FNV-1a
+  // fold over the position-derived content of every byte the receiver's TCP
+  // handed the application, in order, plus any delivery anomalies the
+  // integrity checker observed. Unlike `digest` it is independent of poll
+  // boundaries, flush timing and chunking, so it must be byte-identical
+  // across receive drivers (RSS vs COREC) for the same (seed, options) —
+  // that equality is the rx-conformance oracle. Deliberately NOT mixed into
+  // `digest` so historical digests stay bit-identical.
+  uint64_t stream_digest = 0;
   // Sharded-engine execution detail (all zero/empty when shards == 0).
   // Deliberately outside the digest: windows and crossings are shard-count
   // invariant anyway, workers and barrier waits are not meant to be.

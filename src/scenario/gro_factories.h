@@ -14,31 +14,31 @@
 
 namespace juggler {
 
-inline NicRx::GroFactory MakeJugglerFactory(JugglerConfig config = {}) {
+inline RxDriver::GroFactory MakeJugglerFactory(JugglerConfig config = {}) {
   return [config](const CpuCostModel* costs) -> std::unique_ptr<GroEngine> {
     return std::make_unique<Juggler>(costs, config);
   };
 }
 
-inline NicRx::GroFactory MakeStandardGroFactory() {
+inline RxDriver::GroFactory MakeStandardGroFactory() {
   return [](const CpuCostModel* costs) -> std::unique_ptr<GroEngine> {
     return std::make_unique<StandardGro>(costs);
   };
 }
 
-inline NicRx::GroFactory MakeNoGroFactory() {
+inline RxDriver::GroFactory MakeNoGroFactory() {
   return [](const CpuCostModel* costs) -> std::unique_ptr<GroEngine> {
     return std::make_unique<NoGro>(costs);
   };
 }
 
-inline NicRx::GroFactory MakeLinkedListGroFactory() {
+inline RxDriver::GroFactory MakeLinkedListGroFactory() {
   return [](const CpuCostModel* costs) -> std::unique_ptr<GroEngine> {
     return std::make_unique<LinkedListGro>(costs);
   };
 }
 
-inline NicRx::GroFactory MakePrestoGroFactory(PrestoGroConfig config = {}) {
+inline RxDriver::GroFactory MakePrestoGroFactory(PrestoGroConfig config = {}) {
   return [config](const CpuCostModel* costs) -> std::unique_ptr<GroEngine> {
     return std::make_unique<PrestoGro>(costs, config);
   };

@@ -17,7 +17,7 @@ Host::Host(EventLoop* loop, PacketFactory* factory, const CpuCostModel* costs,
   }
   pending_per_core_.resize(config_.num_app_cores, 0);
   nic_tx_ = std::make_unique<NicTx>(loop, factory, config_.tx, wire_out);
-  nic_rx_ = std::make_unique<NicRx>(loop, costs, config_.rx, config_.gro_factory, this);
+  nic_rx_ = MakeRxDriver(loop, costs, config_.rx, config_.gro_factory, this);
 }
 
 TcpEndpoint* Host::CreateEndpoint(const FiveTuple& local) {

@@ -31,7 +31,7 @@ struct HostConfig {
   NicRxConfig rx;
   NicTxConfig tx;
   TcpConfig tcp;
-  NicRx::GroFactory gro_factory;
+  RxDriver::GroFactory gro_factory;
   // Application cores. Flows are pinned to cores by hash (as a real host
   // pins one flow's RX queue + application thread to one core), so a single
   // flow is always bounded by one core — the paper's ~25Gb/s per-core
@@ -59,7 +59,8 @@ class Host : public SegmentSink {
   // core charge, backpressure accounting, demux order) is identical.
   void OnSegmentBatch(Segment* segments, size_t count) override;
 
-  NicRx* nic_rx() { return nic_rx_.get(); }
+  // The receive-path driver (RSS+NAPI or COREC, per config.rx.driver).
+  RxDriver* nic_rx() { return nic_rx_.get(); }
   NicTx* nic_tx() { return nic_tx_.get(); }
   // The app core a given inbound flow is pinned to; no-arg form returns
   // core 0 (the only core in single-core configurations).
@@ -94,7 +95,7 @@ class Host : public SegmentSink {
   std::vector<std::unique_ptr<CpuCore>> app_cores_;
   std::vector<uint64_t> pending_per_core_;
   std::unique_ptr<NicTx> nic_tx_;
-  std::unique_ptr<NicRx> nic_rx_;
+  std::unique_ptr<RxDriver> nic_rx_;
   // Keyed by the *local* endpoint tuple; inbound segments carry the peer's
   // tuple and are looked up reversed. FlowTable, not unordered_map of
   // unique_ptrs: endpoints live inline in pinned 64-record slabs (no

@@ -154,6 +154,54 @@ TEST(ScenarioSpecTest, AppWorkloadFieldsRoundTrip) {
   EXPECT_EQ(back.ToJson().Dump(2), text);
 }
 
+// The receive-driver axis rides the spec byte-stably: default (rss) specs
+// serialize without the key at all — historical bundles keep their exact
+// bytes — and corec specs (with or without the wedge plant) round-trip.
+TEST(ScenarioSpecTest, RxDriverFieldRoundTrips) {
+  ScenarioSpec rss;
+  EXPECT_EQ(rss.ToJson().Dump().find("rx_driver"), std::string::npos);
+  EXPECT_EQ(rss.ToJson().Dump().find("plant_corec_wedge"), std::string::npos);
+
+  ScenarioSpec spec;
+  spec.rx_driver = RxDriverKind::kCorec;
+  spec.plant_corec_wedge = true;
+  const std::string text = spec.ToJson().Dump(2);
+  EXPECT_NE(text.find("\"rx_driver\": \"corec\""), std::string::npos);
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(Json::Parse(text, &parsed, &error)) << error;
+  ScenarioSpec back;
+  ASSERT_TRUE(ScenarioSpec::FromJson(parsed, &back, &error)) << error;
+  EXPECT_EQ(back.rx_driver, RxDriverKind::kCorec);
+  EXPECT_TRUE(back.plant_corec_wedge);
+  EXPECT_EQ(back.ToJson().Dump(2), text);
+
+  // An unknown driver name is a hard parse error, not a silent rss.
+  Json bad = spec.ToJson();
+  bad.Set("rx_driver", Json::Str("napi"));
+  EXPECT_FALSE(ScenarioSpec::FromJson(bad, &back, &error));
+}
+
+// The sampler draws the driver from its own seed-derived stream: flipping
+// corec_prob between 0 and 1 flips rx_driver and NOTHING else, so pinned
+// fuzz seeds keep sampling the exact specs they always did.
+TEST(ScenarioSpecTest, SamplerDrawsRxDriverIndependently) {
+  SampleLimits always;
+  always.corec_prob = 1.0;
+  SampleLimits never;
+  never.corec_prob = 0.0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng_a(seed), rng_b(seed);
+    ScenarioSpec with = SampleScenarioSpec(&rng_a, always);
+    ScenarioSpec without = SampleScenarioSpec(&rng_b, never);
+    EXPECT_EQ(with.rx_driver, RxDriverKind::kCorec);
+    EXPECT_EQ(without.rx_driver, RxDriverKind::kRss);
+    with.rx_driver = RxDriverKind::kRss;  // neutralize the one allowed delta
+    EXPECT_EQ(with.ToJson().Dump(2), without.ToJson().Dump(2))
+        << "corec_prob perturbed another sampled field at seed " << seed;
+  }
+}
+
 // Unknown-field safety: members this build does not recognize survive a
 // parse/serialize round trip verbatim, and re-serialization is a fixed
 // point — so bundles written by newer builds keep replaying here, and

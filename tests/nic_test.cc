@@ -220,6 +220,193 @@ TEST(NicRxTest, JugglerReorderAbsorbedInsideOnePoll) {
   EXPECT_EQ(sink.segments[0].payload_len, 6 * kMss);
 }
 
+// ---- NAPI edge cases ----
+
+TEST(NicRxTest, BudgetExhaustionMidBatchSplitsPollRounds) {
+  // 20 packets against an 8-packet budget: the NAPI loop must cut the batch
+  // at the budget boundary, count the exhaustion, re-poll, and still deliver
+  // every byte (budget caps latency per round, never drops).
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  cfg.napi_budget = 8;
+  cfg.int_coalesce = Ms(10);  // one interrupt; the burst drains via re-polls
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  nic.Accept(Wire(&f, 0));
+  loop.RunSteps(1);  // first interrupt fired; now stuff the ring between polls
+  for (Seq s = 1; s < 20; ++s) {
+    nic.Accept(Wire(&f, s * kMss));
+  }
+  loop.Run();
+  EXPECT_GT(nic.stats().napi_budget_exhausted, 0u);
+  EXPECT_GT(nic.stats().polls, 2u) << "a 20-packet ring cannot drain in <= 2 rounds of 8";
+  EXPECT_EQ(nic.stats().ring_drops, 0u);
+  EXPECT_EQ(TotalPayload(sink.segments), 20u * kMss);
+}
+
+TEST(NicRxTest, CoalesceTimerFiresAtBatchBoundary) {
+  // A packet landing inside the coalescing window arms the deferred
+  // interrupt; a second batch arriving exactly at that deadline must ride
+  // the armed interrupt (not arm another, not get stranded).
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg;
+  cfg.int_coalesce = Us(100);
+  NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+  nic.Accept(Wire(&f, 0));  // interrupt at t=0
+  // Arrives after the first poll session ended but inside tau0: deferred.
+  loop.Schedule(Us(40), [&] { nic.Accept(Wire(&f, 1 * kMss)); });
+  // A batch landing exactly at the armed deadline (t = 100us).
+  for (Seq s = 2; s < 6; ++s) {
+    loop.Schedule(Us(100), [&nic, &f, s] { nic.Accept(Wire(&f, s * kMss)); });
+  }
+  loop.Run();
+  EXPECT_GT(nic.stats().coalesce_arms, 0u) << "the 40us packet must defer behind tau0";
+  EXPECT_EQ(nic.stats().interrupts, 2u)
+      << "the boundary batch must ride the armed interrupt";
+  EXPECT_EQ(TotalPayload(sink.segments), 6u * kMss);
+}
+
+TEST(NicRxTest, RingTailDropInterleavedWithPerPacketDispatch) {
+  // Tail drops with the per-packet reference arm on: the dropped packets
+  // vanish at the ring (counted), and everything the ring accepted is
+  // delivered through the one-packet-at-a-time GRO path — byte-identical
+  // accounting to the batched arm.
+  auto run = [](bool per_packet) {
+    EventLoop loop;
+    PacketFactory f;
+    CpuCostModel costs;
+    SegmentCollector sink(&loop);
+    NicRxConfig cfg;
+    cfg.ring_capacity = 8;
+    cfg.int_coalesce = Ms(10);
+    cfg.per_packet_dispatch = per_packet;
+    NicRx nic(&loop, &costs, cfg, StandardFactory(), &sink);
+    nic.Accept(Wire(&f, 0));
+    loop.RunSteps(1);
+    for (Seq s = 1; s < 20; ++s) {
+      nic.Accept(Wire(&f, s * kMss));
+    }
+    loop.Run();
+    EXPECT_GT(nic.stats().ring_drops, 0u);
+    EXPECT_EQ(TotalPayload(sink.segments),
+              (nic.stats().packets_in - nic.stats().ring_drops) * kMss)
+        << "per_packet=" << per_packet;
+    return std::make_pair(nic.stats().ring_drops, TotalPayload(sink.segments));
+  };
+  const auto batched = run(false);
+  const auto per_packet = run(true);
+  EXPECT_EQ(batched, per_packet) << "dispatch mode must not change drop accounting";
+}
+
+// ---- CorecRx ----
+
+NicRxConfig CorecConfig() {
+  NicRxConfig cfg;
+  cfg.driver = RxDriverKind::kCorec;
+  return cfg;
+}
+
+TEST(CorecRxTest, ReorderAbsorbedThroughHandoff) {
+  // The concurrent claim/commit machinery must hand GRO the ring order:
+  // Juggler then absorbs the wire reorder exactly as it does behind NAPI.
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  std::unique_ptr<RxDriver> nic =
+      MakeRxDriver(&loop, &costs, CorecConfig(), JugglerFactory(), &sink);
+  const Seq order[] = {0, 2, 1, 4, 3, 5};
+  for (Seq s : order) {
+    nic->Accept(Wire(&f, s * kMss));
+  }
+  loop.Run();
+  ASSERT_EQ(sink.segments.size(), 1u);
+  EXPECT_EQ(sink.segments[0].payload_len, 6 * kMss);
+  ASSERT_NE(nic->corec_stats(), nullptr);
+  EXPECT_EQ(nic->corec_stats()->claimed_packets, 6u);
+}
+
+TEST(CorecRxTest, OutOfOrderCommitsAreCountedAndReordered) {
+  // 40 packets against 4 consumers x 16-descriptor windows: the third
+  // consumer's short window (8 packets) completes before the first two
+  // 16-packet windows, so its commit is out of order, its slots park behind
+  // the incomplete head (a stall), and the hand-off stage must still feed
+  // GRO the full burst in ring order.
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  std::unique_ptr<RxDriver> nic =
+      MakeRxDriver(&loop, &costs, CorecConfig(), StandardFactory(), &sink);
+  for (Seq s = 0; s < 40; ++s) {
+    nic->Accept(Wire(&f, s * kMss));
+  }
+  loop.Run();
+  const CorecRxStats& cs = *nic->corec_stats();
+  EXPECT_EQ(cs.claimed_packets, 40u);
+  EXPECT_EQ(cs.claims, cs.commits) << "every claimed window must commit";
+  EXPECT_GT(cs.ooo_commits, 0u) << "the short window must complete first";
+  EXPECT_GT(cs.handoff_stalls, 0u);
+  EXPECT_GE(cs.ooo_depth_max, 1u);
+  EXPECT_EQ(cs.wedged, 0u);
+  EXPECT_EQ(TotalPayload(sink.segments), 40u * kMss) << "nothing may strand in the slots";
+}
+
+TEST(CorecRxTest, MatchesRssDeliveryByteForByte) {
+  auto run = [](NicRxConfig cfg) {
+    EventLoop loop;
+    PacketFactory f;
+    CpuCostModel costs;
+    SegmentCollector sink(&loop);
+    std::unique_ptr<RxDriver> nic =
+        MakeRxDriver(&loop, &costs, cfg, JugglerFactory(), &sink);
+    for (Seq s = 0; s < 30; ++s) {
+      nic->Accept(Wire(&f, s * kMss));
+    }
+    loop.Run();
+    return TotalPayload(sink.segments);
+  };
+  EXPECT_EQ(run(NicRxConfig{}), run(CorecConfig()));
+}
+
+TEST(CorecRxTest, WedgePlantStallsHandoffPermanently) {
+  // debug_corec_wedge_depth = 1: the first stall (completed slots parked
+  // behind an incomplete head window) wedges the hand-off stage for good —
+  // claimed packets never reach GRO again. This is the defect the
+  // rx-conformance forensics tests hunt end to end.
+  EventLoop loop;
+  PacketFactory f;
+  CpuCostModel costs;
+  SegmentCollector sink(&loop);
+  NicRxConfig cfg = CorecConfig();
+  cfg.debug_corec_wedge_depth = 1;
+  std::unique_ptr<RxDriver> nic =
+      MakeRxDriver(&loop, &costs, cfg, StandardFactory(), &sink);
+  for (Seq s = 0; s < 40; ++s) {
+    nic->Accept(Wire(&f, s * kMss));
+  }
+  loop.Run();
+  EXPECT_EQ(nic->corec_stats()->wedged, 1u);
+  EXPECT_LT(TotalPayload(sink.segments), 40u * kMss)
+      << "a wedged hand-off cannot have delivered the full burst";
+}
+
+TEST(CorecRxTest, ParseAndNameRoundTrip) {
+  RxDriverKind kind = RxDriverKind::kRss;
+  EXPECT_TRUE(ParseRxDriverKind("corec", &kind));
+  EXPECT_EQ(kind, RxDriverKind::kCorec);
+  EXPECT_TRUE(ParseRxDriverKind("rss", &kind));
+  EXPECT_EQ(kind, RxDriverKind::kRss);
+  EXPECT_FALSE(ParseRxDriverKind("napi", &kind));
+  EXPECT_STREQ(RxDriverKindName(RxDriverKind::kCorec), "corec");
+  EXPECT_STREQ(RxDriverKindName(RxDriverKind::kRss), "rss");
+}
+
 // ---- NicTx ----
 
 TEST(NicTxTest, SegmentsBurstIntoMtus) {

@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "src/core/juggler.h"
+#include "src/gro/baseline_gro.h"
+#include "src/nic/rx_driver.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/scenario/chaos_scenario.h"
@@ -292,6 +294,119 @@ TEST(GoldenTraceTest, GoldenScenarioEmitsTheExpectedFlushReasons) {
         << "golden scenario no longer emits a '" << want << "' flush";
   }
   EXPECT_GE(phase_events, 4) << "golden scenario lost its phase-machine transitions";
+}
+
+// ------------------------------------------- COREC hand-off golden trace --
+
+class DiscardSink : public SegmentSink {
+ public:
+  void OnSegment(Segment) override {}
+};
+
+// A compact scripted COREC run: 20 packets against 3 consumers with
+// 8-descriptor claim windows, so the third consumer's short window (4
+// packets) commits out of order, parks behind the incomplete head windows
+// (a recorded stall), and the hand-off stage then releases the contiguous
+// runs to GRO in ring order. Everything is a pure simulation of fixed cost
+// constants, so the trace is bit-stable across machines.
+Json CorecHandoffTrace() {
+  EventLoop loop;
+  CpuCostModel costs;
+  FlightRecorder recorder(/*shard=*/0, /*capacity=*/256);
+  DiscardSink sink;
+  NicRxConfig cfg;
+  cfg.driver = RxDriverKind::kCorec;
+  cfg.corec_consumers = 3;
+  cfg.corec_claim_window = 8;
+  cfg.recorder = &recorder;
+  std::unique_ptr<RxDriver> nic = MakeRxDriver(
+      &loop, &costs, cfg,
+      [](const CpuCostModel* c) -> std::unique_ptr<GroEngine> {
+        return std::make_unique<StandardGro>(c);
+      },
+      &sink);
+  const FiveTuple flow = TestFlow();
+  for (int i = 0; i < 20; ++i) {
+    nic->Accept(MakeDataPacket(flow, static_cast<Seq>(i) * kMss, kMss));
+  }
+  loop.Run();
+
+  Json full = TraceToJson(recorder.Snapshot(), recorder.dropped(), ChaosTraceNamer());
+  Json stripped = Json::Object();
+  stripped.Set("traceEvents", *full.Find("traceEvents"));
+  stripped.Set("displayTimeUnit", *full.Find("displayTimeUnit"));
+  return stripped;
+}
+
+TEST(GoldenTraceTest, CorecHandoffMatchesCheckedInTrace) {
+  const std::string golden_path =
+      std::string(JUGGLER_TEST_GOLDEN_DIR) + "/corec_handoff_trace.json";
+  const std::string current = CorecHandoffTrace().Dump(1) + "\n";
+
+  if (std::getenv("JUGGLER_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << current;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (regenerate with JUGGLER_REGEN_GOLDEN=1)";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), current)
+      << "the COREC hand-off trace changed; if intentional, regenerate with\n"
+         "  JUGGLER_REGEN_GOLDEN=1 ./obs_test --gtest_filter='GoldenTraceTest.*'";
+}
+
+TEST(GoldenTraceTest, CorecScenarioEmitsClaimCommitStallHandoff) {
+  // Independent of the byte-exact golden: the scenario must keep showing a
+  // reader the full claim -> out-of-order commit -> stall -> in-order
+  // hand-off lifecycle.
+  const Json trace = CorecHandoffTrace();
+  const Json* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::set<std::string> names;
+  for (const Json& e : events->items()) {
+    std::string name;
+    ASSERT_TRUE(e.GetString("name", &name));
+    names.insert(name);
+  }
+  for (const char* want : {"corec_claim", "corec_commit", "corec_stall", "corec_handoff"}) {
+    EXPECT_TRUE(names.count(want) != 0)
+        << "COREC golden scenario no longer emits a '" << want << "' event";
+  }
+}
+
+TEST(ObsDeterminismTest, CorecCountersShardInvariantAndOutOfDigest) {
+  // The COREC claim/commit/hand-off counters join the metrics registry only:
+  // byte-identical across shard counts, and collecting them never moves the
+  // run digest (obs must not perturb reproducibility).
+  ChaosOptions opt = ObsChaosOptions(1);
+  opt.rx_driver = RxDriverKind::kCorec;
+  const ChaosEngineResult one = RunChaosEngine(opt, /*use_juggler=*/true);
+  ASSERT_TRUE(one.completed);
+  const std::string metrics1 = one.obs.MetricsJson().Dump(1);
+  EXPECT_NE(metrics1.find("nic.corec_claims"), std::string::npos)
+      << "COREC families missing from the published metrics";
+  EXPECT_GT(one.obs.metrics.CounterValue("nic.corec_handoff_runs", "receiver"), 0u);
+
+  for (size_t shards : {size_t{2}, size_t{8}}) {
+    ChaosOptions o = ObsChaosOptions(shards);
+    o.rx_driver = RxDriverKind::kCorec;
+    const ChaosEngineResult r = RunChaosEngine(o, /*use_juggler=*/true);
+    EXPECT_EQ(r.digest, one.digest) << "digest diverged at shards=" << shards;
+    EXPECT_EQ(r.obs.MetricsJson().Dump(1), metrics1)
+        << "COREC metrics not byte-identical at shards=" << shards;
+  }
+
+  ChaosOptions dark = ObsChaosOptions(1);
+  dark.rx_driver = RxDriverKind::kCorec;
+  dark.obs = ObsConfig{};  // metrics + trace off
+  const ChaosEngineResult no_obs = RunChaosEngine(dark, /*use_juggler=*/true);
+  EXPECT_EQ(no_obs.digest, one.digest) << "collecting COREC counters moved the digest";
+  EXPECT_EQ(no_obs.stream_digest, one.stream_digest);
 }
 
 }  // namespace
